@@ -1,0 +1,67 @@
+//! Microbenchmarks for the buffer pool: access throughput on the shared
+//! pool vs the partitioned pool (quota routing overhead), and prefetch
+//! installation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use odlb_bufferpool::{BufferPool, PartitionedPool};
+use odlb_metrics::{AppId, ClassId};
+use odlb_storage::{PageId, SpaceId};
+
+fn access_trace(n: usize) -> Vec<(ClassId, PageId)> {
+    let mut x: u64 = 0xABCDEF;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let class = ClassId::new(AppId(0), (x % 14) as u32);
+            let page = PageId::new(SpaceId((x >> 8) as u32 % 4), (x >> 16) % 12_000);
+            (class, page)
+        })
+        .collect()
+}
+
+fn bench_pools(c: &mut Criterion) {
+    let trace = access_trace(100_000);
+    let mut group = c.benchmark_group("bufferpool_access");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    group.bench_function("shared_8192", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(8192);
+            for &(class, page) in &trace {
+                black_box(pool.access(class, page));
+            }
+        })
+    });
+
+    group.bench_function("partitioned_8192_one_quota", |b| {
+        b.iter(|| {
+            let mut pool = PartitionedPool::new(8192);
+            pool.set_quota(ClassId::new(AppId(0), 8), 2048).unwrap();
+            for &(class, page) in &trace {
+                black_box(pool.access(class, page));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_prefetch(c: &mut Criterion) {
+    c.bench_function("prefetch_extent_64", |b| {
+        let mut pool = BufferPool::new(8192);
+        let class = ClassId::new(AppId(0), 8);
+        let mut base = 0u64;
+        b.iter(|| {
+            base += 64;
+            black_box(pool.prefetch(
+                class,
+                (0..64).map(|i| PageId::new(SpaceId(0), base + i)),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_pools, bench_prefetch);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmark for the outlier detection pipeline: full weighted
+//! detection across all six metrics as the class population grows. The
+//! paper stresses its technique is "lightweight"; this quantifies it.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use odlb_metrics::{AppId, ClassId, MetricKind, MetricVector};
+use odlb_outlier::{detect, OutlierConfig};
+use std::collections::BTreeMap;
+
+fn population(n: u32) -> (BTreeMap<ClassId, MetricVector>, BTreeMap<ClassId, MetricVector>) {
+    let mut current = BTreeMap::new();
+    let mut stable = BTreeMap::new();
+    for t in 0..n {
+        let class = ClassId::new(AppId(t % 4), t);
+        let base = MetricVector::from_fn(|k| match k {
+            MetricKind::Latency => 0.1 + t as f64 * 0.001,
+            MetricKind::Throughput => 10.0 + t as f64,
+            _ => 100.0 + (t as f64 * 37.0) % 900.0,
+        });
+        let mut cur = base;
+        if t % 17 == 0 {
+            cur[MetricKind::BufferMisses] *= 8.0; // sprinkle outliers
+        }
+        stable.insert(class, base);
+        current.insert(class, cur);
+    }
+    (current, stable)
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("outlier_detect");
+    for &n in &[14u32, 50, 200, 1_000] {
+        let (current, stable) = population(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let report = detect(&OutlierConfig::default(), black_box(&current), |c| {
+                    stable.get(&c).copied()
+                });
+                black_box(report.outlier_contexts().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! The experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [fig3|fig4|fig5|fig6|table1|table2|table3|
+//!              ablation-fences|ablation-weights|ablation-coarse|
+//!              ablation-mrc-threshold|ablation-mrc-approx|all]
+//! ```
+
+use odlb_bench::experiments::*;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = arg == "all";
+    let mut ran = false;
+
+    if all || arg == "fig5" {
+        ran = true;
+        banner("Fig. 5 — MRC of BestSeller (normal configuration); paper: acceptable 6982 pages");
+        println!("{}", mrc_common::render(&fig5::run(120)));
+    }
+    if all || arg == "fig6" {
+        ran = true;
+        banner("Fig. 6 — MRC of SearchItemsByRegion; paper: acceptable 7906 pages");
+        println!("{}", mrc_common::render(&fig6::run(300)));
+    }
+    if all || arg == "table1" {
+        ran = true;
+        banner("Table 1 — buffer pool management algorithms (index dropped)");
+        println!("{}", table1::render(&table1::run(3_000)));
+    }
+    if all || arg == "fig3" {
+        ran = true;
+        banner("Fig. 3 — CPU saturation under sinusoid load");
+        println!("{}", fig3::render(&fig3::run(64, 14, 50, 450, 4)));
+    }
+    if all || arg == "fig4" {
+        ran = true;
+        banner("Fig. 4 — dropping the O_DATE index");
+        println!("{}", fig4::render(&fig4::run(50, 12, 15)));
+    }
+    if all || arg == "table2" {
+        ran = true;
+        banner("Table 2 — memory contention in a shared buffer pool");
+        println!("{}", table2::render(&table2::run(45, 80, 10, 6, 15)));
+    }
+    if all || arg == "table3" {
+        ran = true;
+        banner("Table 3 — I/O contention among VM domains");
+        println!("{}", table3::render(&table3::run(40, 8, 8, 10)));
+    }
+    if all || arg == "ablation-fences" {
+        ran = true;
+        banner("Ablation A1 — fence multiplier sensitivity");
+        let snap = ablations::capture_detection_snapshot(50);
+        println!(
+            "{:>8} {:>10} {:>18}",
+            "inner", "contexts", "flags BestSeller"
+        );
+        for row in ablations::fence_ablation(&snap, &[0.5, 1.0, 1.5, 2.0, 3.0, 6.0]) {
+            println!(
+                "{:>8.1} {:>10} {:>18}",
+                row.inner, row.contexts, row.flags_bestseller
+            );
+        }
+        println!();
+    }
+    if all || arg == "ablation-weights" {
+        ran = true;
+        banner("Ablation A2 — impact weighting");
+        let snap = ablations::capture_detection_snapshot(50);
+        println!(
+            "{:>22} {:>10} {:>18} {:>14}",
+            "weighting", "contexts", "flags BestSeller", "separation"
+        );
+        for row in ablations::weight_ablation(&snap) {
+            println!(
+                "{:>22} {:>10} {:>18} {:>14.1}",
+                row.weighting, row.contexts, row.flags_bestseller, row.bestseller_separation
+            );
+        }
+        println!();
+    }
+    if all || arg == "ablation-coarse" {
+        ran = true;
+        banner("Ablation A3 — fine-grained vs coarse-grained vs CPU-only");
+        println!(
+            "{:>22} {:>18} {:>14}",
+            "controller", "final latency (s)", "servers used"
+        );
+        for row in ablations::controller_ablation(50, 30, 25) {
+            println!(
+                "{:>22} {:>18.2} {:>14}",
+                row.controller, row.final_latency_s, row.servers_used
+            );
+        }
+        println!();
+    }
+    if all || arg == "ablation-mrc-threshold" {
+        ran = true;
+        banner("Ablation A4 — MRC acceptability threshold vs BestSeller quota");
+        println!("{:>12} {:>20}", "threshold", "acceptable (pages)");
+        for (t, pages) in
+            ablations::mrc_threshold_ablation(80, &[0.01, 0.02, 0.05, 0.10, 0.15, 0.20])
+        {
+            println!("{t:>12.2} {pages:>20}");
+        }
+        println!();
+    }
+    if all || arg == "ablation-mrc-approx" {
+        ran = true;
+        banner("Ablation A5 — exact Mattson vs bucketed approximation");
+        println!("{:>8} {:>9} {:>16}", "ratio", "buckets", "max |Δmr|");
+        for row in ablations::tracker_ablation(150, &[1.1, 1.2, 1.5, 2.0, 4.0]) {
+            println!(
+                "{:>8.1} {:>9} {:>16.4}",
+                row.ratio, row.buckets, row.max_deviation
+            );
+        }
+        println!();
+    }
+
+    if !ran {
+        eprintln!(
+            "unknown experiment '{arg}'; valid: fig3 fig4 fig5 fig6 table1 table2 table3 \
+             ablation-fences ablation-weights ablation-coarse ablation-mrc-threshold \
+             ablation-mrc-approx all"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn banner(title: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}

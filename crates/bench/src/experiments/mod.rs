@@ -1,0 +1,11 @@
+//! Experiment implementations, one per paper artifact.
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod mrc_common;
+pub mod table1;
+pub mod table2;
+pub mod table3;

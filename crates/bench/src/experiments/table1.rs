@@ -1,0 +1,205 @@
+//! Table 1 — hit ratio of different buffer pool management algorithms.
+//!
+//! The paper's own methodology: "We use a simulator of buffer pool
+//! management driven by traces of page accesses per query class." Under
+//! the index-dropped configuration it compares, for BestSeller and for
+//! all other TPC-W queries, the hit ratio when:
+//!
+//! * **Shared** — everyone shares the 8192-page pool.
+//! * **Partitioned** — BestSeller is confined to a quota derived from its
+//!   recomputed MRC (paper: 3695 pages); the rest share the remainder.
+//! * **Exclusive** — each side gets the whole pool to itself (the ideal,
+//!   equivalent to isolating BestSeller on a separate replica).
+//!
+//! Read-ahead is part of the replay, as in InnoDB: the index-less
+//! BestSeller is a linear scan whose pages are prefetched ahead of the
+//! accesses, so *its own* hit ratio stays high (~95%) in every
+//! configuration — the paper's seemingly paradoxical first row. The harm
+//! is the prefetched pages flooding the shared pool and evicting
+//! everyone else's working set; a quota confines that flood, which is why
+//! the non-BestSeller row improves sharply under partitioning while
+//! BestSeller barely moves.
+
+use odlb_bufferpool::PartitionedPool;
+use odlb_metrics::ClassId;
+use odlb_mrc::MattsonTracker;
+use odlb_sim::SimRng;
+use odlb_storage::{PageId, ReadAheadDetector, EXTENT_PAGES};
+use odlb_workload::tpcw::{tpcw_workload, TpcwConfig, BESTSELLER};
+
+/// The table's measurements.
+#[derive(Clone, Copy, Debug)]
+pub struct Table1Result {
+    /// BestSeller hit ratio under shared / partitioned / exclusive.
+    pub bestseller: [f64; 3],
+    /// Non-BestSeller hit ratio under shared / partitioned / exclusive.
+    pub rest: [f64; 3],
+    /// The quota (pages) the partitioned configuration granted BestSeller.
+    pub quota_pages: usize,
+}
+
+/// Configuration labels, in column order.
+pub const CONFIGS: [&str; 3] = ["Shared Buffer", "Partitioned Buffer", "Exclusive Buffer"];
+
+const POOL_PAGES: usize = 8192;
+
+/// Runs the trace-driven comparison over `queries` sampled TPC-W queries
+/// (index dropped). A fifth of the trace warms each pool before counting.
+pub fn run(queries: usize) -> Table1Result {
+    let workload = tpcw_workload(TpcwConfig {
+        odate_index: false,
+        ..Default::default()
+    });
+    let bs_class = workload.class_id(BESTSELLER);
+
+    // Collect the trace once so every configuration replays identical
+    // accesses (the paper's trace-driven methodology).
+    let mut rng = SimRng::new(1_2007);
+    let trace: Vec<(ClassId, Vec<PageId>)> = (0..queries)
+        .map(|_| {
+            let q = workload.sample_query(&mut rng);
+            (q.class, q.pages)
+        })
+        .collect();
+    let warmup = queries / 5;
+
+    // The quota is what the controller would grant: the acceptable memory
+    // of the recomputed (index-less) BestSeller curve.
+    let mut tracker = MattsonTracker::new(POOL_PAGES);
+    for (class, pages) in &trace {
+        if *class == bs_class {
+            for &p in pages {
+                tracker.access(p);
+            }
+        }
+    }
+    // Same floor the controller applies: a flat-MRC scan still needs room
+    // for its in-flight read-ahead extents (acceptable memory alone can
+    // degenerate to a single page).
+    let quota_pages = tracker
+        .curve()
+        .params(POOL_PAGES, 0.05)
+        .acceptable_memory_needed
+        .clamp(512, POOL_PAGES - 1);
+
+    // Replays the trace through a pool with InnoDB-style read-ahead:
+    // sequential runs trigger prefetch of the next extent, installed on
+    // behalf of (and, under a quota, into the partition of) the class.
+    let hit_ratios = |pool: &mut PartitionedPool,
+                      filter: &dyn Fn(ClassId) -> bool|
+     -> (f64, f64) {
+        let mut readahead = ReadAheadDetector::default();
+        for (i, (class, pages)) in trace.iter().enumerate() {
+            if i == warmup {
+                pool.reset_counters();
+            }
+            if !filter(*class) {
+                continue;
+            }
+            for &p in pages {
+                pool.access(*class, p);
+                if let Some(start) = readahead.observe(class.as_u64(), p) {
+                    pool.prefetch(*class, (0..EXTENT_PAGES).map(|k| start.offset(k)));
+                }
+            }
+        }
+        let bs = pool.class_counters(bs_class);
+        let mut rest_hits = 0;
+        let mut rest_accesses = 0;
+        for i in 0..workload.classes.len() {
+            let c = workload.class_id(i);
+            if c != bs_class {
+                let counters = pool.class_counters(c);
+                rest_hits += counters.hits;
+                rest_accesses += counters.accesses;
+            }
+        }
+        let rest_ratio = if rest_accesses == 0 {
+            f64::NAN
+        } else {
+            rest_hits as f64 / rest_accesses as f64
+        };
+        (bs.hit_ratio(), rest_ratio)
+    };
+
+    // Shared.
+    let mut shared = PartitionedPool::new(POOL_PAGES);
+    let (bs_shared, rest_shared) = hit_ratios(&mut shared, &|_| true);
+
+    // Partitioned: BestSeller gets its quota.
+    let mut partitioned = PartitionedPool::new(POOL_PAGES);
+    partitioned
+        .set_quota(bs_class, quota_pages)
+        .expect("quota fits");
+    let (bs_part, rest_part) = hit_ratios(&mut partitioned, &|_| true);
+
+    // Exclusive: each side alone in the full pool.
+    let mut bs_only = PartitionedPool::new(POOL_PAGES);
+    let (bs_excl, _) = hit_ratios(&mut bs_only, &|c| c == bs_class);
+    let mut rest_only = PartitionedPool::new(POOL_PAGES);
+    let (_, rest_excl) = hit_ratios(&mut rest_only, &|c| c != bs_class);
+
+    Table1Result {
+        bestseller: [bs_shared, bs_part, bs_excl],
+        rest: [rest_shared, rest_part, rest_excl],
+        quota_pages,
+    }
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(r: &Table1Result) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1: Hit Ratio of Different Buffer Pool Management Algorithms\n\
+         (BestSeller quota in partitioned configuration: {} pages)\n\n",
+        r.quota_pages
+    ));
+    out.push_str(&format!(
+        "{:<16}{:>16}{:>20}{:>18}\n",
+        "Hit Ratio (%)", CONFIGS[0], CONFIGS[1], CONFIGS[2]
+    ));
+    out.push_str(&format!(
+        "{:<16}{:>16.1}{:>20.1}{:>18.1}\n",
+        "BestSeller",
+        r.bestseller[0] * 100.0,
+        r.bestseller[1] * 100.0,
+        r.bestseller[2] * 100.0
+    ));
+    out.push_str(&format!(
+        "{:<16}{:>16.1}{:>20.1}{:>18.1}\n",
+        "Non-BestSeller",
+        r.rest[0] * 100.0,
+        r.rest[1] * 100.0,
+        r.rest[2] * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_recovers_rest_without_hurting_bestseller() {
+        let r = run(800);
+        let [bs_shared, bs_part, bs_excl] = r.bestseller;
+        let [rest_shared, rest_part, rest_excl] = r.rest;
+        // The paper's headline: partitioned ≈ exclusive for the rest,
+        // clearly better than shared.
+        assert!(
+            rest_part > rest_shared + 0.02,
+            "partitioning must improve the rest: {rest_shared:.3} -> {rest_part:.3}"
+        );
+        assert!(
+            rest_excl >= rest_part - 0.02,
+            "exclusive is the ceiling: part {rest_part:.3} vs excl {rest_excl:.3}"
+        );
+        // BestSeller's scan is hidden by read-ahead everywhere: high and
+        // roughly unchanged across configurations.
+        assert!(bs_shared > 0.8, "prefetch keeps BestSeller high: {bs_shared:.3}");
+        assert!(
+            (bs_part - bs_excl).abs() < 0.10,
+            "quota ≈ isolation for BestSeller: {bs_part:.3} vs {bs_excl:.3}"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # odlb-bufferpool — LRU buffer pool with per-class accounting and quotas
+//!
+//! The simulated InnoDB buffer pool. The paper instruments MySQL/InnoDB to
+//! tie hit/miss/read-ahead statistics to query classes, and alleviates
+//! memory interference by "enforcing a fixed quota allocation for the
+//! respective query class" — a dedicated partition of the pool — while all
+//! other classes keep sharing the rest (§3.3.2, Table 1).
+//!
+//! * [`LruList`] — an O(1) intrusive LRU list (slab + hash index), the
+//!   replacement policy under everything.
+//! * [`BufferPool`] — one LRU partition with per-class counters and
+//!   prefetch (read-ahead) insertion.
+//! * [`PartitionedPool`] — the quota mechanism: a *general* partition plus
+//!   dedicated per-class partitions carved out of it; the paper's Table 1
+//!   compares exactly `shared` vs `partitioned` vs `exclusive`
+//!   configurations of this structure.
+
+pub mod lru;
+pub mod partitioned;
+pub mod pool;
+
+pub use lru::LruList;
+pub use partitioned::{PartitionedPool, QuotaError};
+pub use pool::{AccessOutcome, BufferPool, ClassCounters};

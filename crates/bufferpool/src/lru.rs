@@ -1,0 +1,310 @@
+//! An O(1) LRU list: slab-allocated doubly-linked list plus a hash index.
+//!
+//! LRU is what makes Mattson's stack algorithm applicable (the inclusion
+//! property, paper §2), so the pool's policy and the MRC tracker must
+//! agree — a property the test suite checks explicitly.
+
+use odlb_storage::PageId;
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    page: PageId,
+    prev: u32,
+    next: u32,
+}
+
+/// A fixed-capacity LRU list of pages.
+#[derive(Clone, Debug)]
+pub struct LruList {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    index: HashMap<PageId, u32>,
+    head: u32, // MRU
+    tail: u32, // LRU
+    capacity: usize,
+}
+
+impl LruList {
+    /// Creates a list holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "an LRU list needs capacity >= 1");
+        LruList {
+            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            index: HashMap::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no page is resident.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when `page` is resident (no recency update).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.index.contains_key(&page)
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Promotes `page` to MRU if resident. Returns whether it was a hit.
+    pub fn touch(&mut self, page: PageId) -> bool {
+        match self.index.get(&page).copied() {
+            Some(idx) => {
+                if self.head != idx {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `page` at MRU, evicting the LRU page if full. Returns the
+    /// evicted page, if any. Inserting a resident page just promotes it.
+    pub fn insert(&mut self, page: PageId) -> Option<PageId> {
+        if self.touch(page) {
+            return None;
+        }
+        let evicted = if self.index.len() >= self.capacity {
+            self.evict_lru()
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node {
+                    page,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    page,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.index.insert(page, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Evicts and returns the LRU page, if any.
+    pub fn evict_lru(&mut self) -> Option<PageId> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let page = self.nodes[idx as usize].page;
+        self.unlink(idx);
+        self.index.remove(&page);
+        self.free.push(idx);
+        Some(page)
+    }
+
+    /// Removes a specific page if resident; returns whether it was there.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        match self.index.remove(&page) {
+            Some(idx) => {
+                self.unlink(idx);
+                self.free.push(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Changes the capacity; shrinking evicts LRU pages. Returns the
+    /// evicted pages (in eviction order).
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<PageId> {
+        assert!(capacity >= 1, "an LRU list needs capacity >= 1");
+        self.capacity = capacity;
+        let mut evicted = Vec::new();
+        while self.index.len() > capacity {
+            evicted.push(self.evict_lru().expect("len > 0"));
+        }
+        evicted
+    }
+
+    /// Pages from MRU to LRU (debugging/tests; O(len)).
+    pub fn pages_mru_to_lru(&self) -> Vec<PageId> {
+        let mut out = Vec::with_capacity(self.index.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.nodes[cur as usize].page);
+            cur = self.nodes[cur as usize].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odlb_storage::SpaceId;
+
+    fn pid(no: u64) -> PageId {
+        PageId::new(SpaceId(0), no)
+    }
+
+    #[test]
+    fn insert_until_full_then_evicts_lru() {
+        let mut l = LruList::new(3);
+        assert_eq!(l.insert(pid(1)), None);
+        assert_eq!(l.insert(pid(2)), None);
+        assert_eq!(l.insert(pid(3)), None);
+        assert_eq!(l.insert(pid(4)), Some(pid(1)), "oldest goes first");
+        assert_eq!(l.pages_mru_to_lru(), vec![pid(4), pid(3), pid(2)]);
+    }
+
+    #[test]
+    fn touch_promotes() {
+        let mut l = LruList::new(3);
+        l.insert(pid(1));
+        l.insert(pid(2));
+        l.insert(pid(3));
+        assert!(l.touch(pid(1)));
+        assert_eq!(l.insert(pid(4)), Some(pid(2)), "2 became LRU after touch");
+    }
+
+    #[test]
+    fn touch_miss_returns_false() {
+        let mut l = LruList::new(2);
+        assert!(!l.touch(pid(9)));
+    }
+
+    #[test]
+    fn reinsert_resident_is_promotion_not_eviction() {
+        let mut l = LruList::new(2);
+        l.insert(pid(1));
+        l.insert(pid(2));
+        assert_eq!(l.insert(pid(1)), None);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.pages_mru_to_lru(), vec![pid(1), pid(2)]);
+    }
+
+    #[test]
+    fn remove_specific_page() {
+        let mut l = LruList::new(3);
+        l.insert(pid(1));
+        l.insert(pid(2));
+        assert!(l.remove(pid(1)));
+        assert!(!l.remove(pid(1)));
+        assert_eq!(l.len(), 1);
+        assert!(!l.contains(pid(1)));
+        // Slab slot is reused.
+        l.insert(pid(3));
+        l.insert(pid(4));
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn shrink_evicts_in_lru_order() {
+        let mut l = LruList::new(5);
+        for i in 1..=5 {
+            l.insert(pid(i));
+        }
+        let evicted = l.set_capacity(2);
+        assert_eq!(evicted, vec![pid(1), pid(2), pid(3)]);
+        assert_eq!(l.pages_mru_to_lru(), vec![pid(5), pid(4)]);
+        assert_eq!(l.capacity(), 2);
+    }
+
+    #[test]
+    fn grow_keeps_contents() {
+        let mut l = LruList::new(2);
+        l.insert(pid(1));
+        l.insert(pid(2));
+        assert!(l.set_capacity(4).is_empty());
+        l.insert(pid(3));
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn single_capacity_list() {
+        let mut l = LruList::new(1);
+        assert_eq!(l.insert(pid(1)), None);
+        assert_eq!(l.insert(pid(2)), Some(pid(1)));
+        assert!(l.touch(pid(2)));
+        assert_eq!(l.evict_lru(), Some(pid(2)));
+        assert_eq!(l.evict_lru(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn hit_iff_stack_distance_within_capacity() {
+        // The LRU inclusion property, checked against a naive stack: a
+        // touch hits iff the page's stack distance is <= capacity. This is
+        // the bridge between the pool and the MRC predictions.
+        let cap = 32;
+        let mut l = LruList::new(cap);
+        let mut stack: Vec<u64> = Vec::new();
+        let mut x: u64 = 0xDEADBEEF;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = x % 300;
+            let dist = stack.iter().position(|&k| k == key).map(|i| i + 1);
+            let hit = l.touch(pid(key));
+            match dist {
+                Some(d) => assert_eq!(hit, d <= cap, "key {key} dist {d}"),
+                None => assert!(!hit),
+            }
+            if let Some(i) = stack.iter().position(|&k| k == key) {
+                stack.remove(i);
+            }
+            stack.insert(0, key);
+            if !hit {
+                l.insert(pid(key));
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! A single-partition buffer pool with per-class accounting.
+
+use crate::lru::LruList;
+use odlb_metrics::ClassId;
+use odlb_storage::PageId;
+use std::collections::HashMap;
+
+/// The result of one page access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The page was resident.
+    Hit,
+    /// The page was not resident and has been installed (the caller
+    /// charges the disk read).
+    Miss,
+}
+
+impl AccessOutcome {
+    /// Convenience predicate.
+    pub fn is_miss(self) -> bool {
+        matches!(self, AccessOutcome::Miss)
+    }
+}
+
+/// Per-class hit/miss accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounters {
+    /// Page accesses (hits + misses).
+    pub accesses: u64,
+    /// Accesses served from memory.
+    pub hits: u64,
+    /// Accesses that required a disk read.
+    pub misses: u64,
+    /// Pages installed by read-ahead on this class's behalf.
+    pub prefetched: u64,
+}
+
+impl ClassCounters {
+    /// Hit ratio over all accesses (1.0 when no accesses, so an idle class
+    /// reads as unproblematic).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A single LRU pool shared by all classes routed to it.
+#[derive(Clone, Debug)]
+pub struct BufferPool {
+    lru: LruList,
+    counters: HashMap<ClassId, ClassCounters>,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity_pages` pages.
+    pub fn new(capacity_pages: usize) -> Self {
+        BufferPool {
+            lru: LruList::new(capacity_pages),
+            counters: HashMap::new(),
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.lru.capacity()
+    }
+
+    /// Resident pages.
+    pub fn resident(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Accesses one page on behalf of `class`. On a miss the page is
+    /// installed at MRU (the caller performs the disk read).
+    pub fn access(&mut self, class: ClassId, page: PageId) -> AccessOutcome {
+        let c = self.counters.entry(class).or_default();
+        c.accesses += 1;
+        if self.lru.touch(page) {
+            c.hits += 1;
+            AccessOutcome::Hit
+        } else {
+            c.misses += 1;
+            self.lru.insert(page);
+            AccessOutcome::Miss
+        }
+    }
+
+    /// Installs prefetched pages (read-ahead) on behalf of `class` without
+    /// counting them as accesses. Already-resident pages are skipped
+    /// *without* promotion (prefetch must not distort recency). Returns
+    /// how many pages were actually installed.
+    pub fn prefetch(&mut self, class: ClassId, pages: impl IntoIterator<Item = PageId>) -> u64 {
+        let mut installed = 0;
+        for page in pages {
+            if !self.lru.contains(page) {
+                self.lru.insert(page);
+                installed += 1;
+            }
+        }
+        self.counters.entry(class).or_default().prefetched += installed;
+        installed
+    }
+
+    /// True when `page` is resident (no recency update).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.lru.contains(page)
+    }
+
+    /// Counters for one class.
+    pub fn class_counters(&self, class: ClassId) -> ClassCounters {
+        self.counters.get(&class).copied().unwrap_or_default()
+    }
+
+    /// Counters summed across classes.
+    pub fn total_counters(&self) -> ClassCounters {
+        let mut total = ClassCounters::default();
+        for c in self.counters.values() {
+            total.accesses += c.accesses;
+            total.hits += c.hits;
+            total.misses += c.misses;
+            total.prefetched += c.prefetched;
+        }
+        total
+    }
+
+    /// Drains and returns all class counters (interval close), keeping
+    /// resident pages untouched.
+    pub fn drain_counters(&mut self) -> HashMap<ClassId, ClassCounters> {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// Forgets one class's counters (its accounting moves elsewhere).
+    pub fn clear_class_counters(&mut self, class: ClassId) {
+        self.counters.remove(&class);
+    }
+
+    /// Resizes the pool; shrinking evicts LRU pages.
+    pub fn resize(&mut self, capacity_pages: usize) {
+        self.lru.set_capacity(capacity_pages);
+    }
+
+    /// Resident pages in LRU→MRU order (suitable for re-insertion into
+    /// another pool while preserving recency).
+    pub fn resident_pages(&self) -> Vec<PageId> {
+        let mut pages = self.lru.pages_mru_to_lru();
+        pages.reverse();
+        pages
+    }
+
+    /// Installs pages without any accounting — pool warm-up during
+    /// replica provisioning ("warming up the buffer pool", §3.3.2).
+    pub fn preload(&mut self, pages: impl IntoIterator<Item = PageId>) {
+        for page in pages {
+            self.lru.insert(page);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odlb_metrics::AppId;
+    use odlb_storage::SpaceId;
+
+    fn class(t: u32) -> ClassId {
+        ClassId::new(AppId(0), t)
+    }
+    fn pid(no: u64) -> PageId {
+        PageId::new(SpaceId(0), no)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut p = BufferPool::new(10);
+        assert_eq!(p.access(class(1), pid(5)), AccessOutcome::Miss);
+        assert_eq!(p.access(class(1), pid(5)), AccessOutcome::Hit);
+        let c = p.class_counters(class(1));
+        assert_eq!((c.accesses, c.hits, c.misses), (2, 1, 1));
+        assert_eq!(c.hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn classes_share_residency_but_not_counters() {
+        let mut p = BufferPool::new(10);
+        p.access(class(1), pid(5));
+        // Class 2 benefits from class 1's page: shared pool.
+        assert_eq!(p.access(class(2), pid(5)), AccessOutcome::Hit);
+        assert_eq!(p.class_counters(class(1)).misses, 1);
+        assert_eq!(p.class_counters(class(2)).hits, 1);
+        assert_eq!(p.total_counters().accesses, 2);
+    }
+
+    #[test]
+    fn capacity_evictions_cause_remises() {
+        let mut p = BufferPool::new(2);
+        p.access(class(1), pid(1));
+        p.access(class(1), pid(2));
+        p.access(class(1), pid(3)); // evicts 1
+        assert_eq!(p.access(class(1), pid(1)), AccessOutcome::Miss);
+        assert_eq!(p.resident(), 2);
+    }
+
+    #[test]
+    fn prefetch_installs_without_access_counting() {
+        let mut p = BufferPool::new(10);
+        let installed = p.prefetch(class(1), (0..4).map(pid));
+        assert_eq!(installed, 4);
+        assert_eq!(p.class_counters(class(1)).accesses, 0);
+        assert_eq!(p.class_counters(class(1)).prefetched, 4);
+        assert_eq!(p.access(class(1), pid(2)), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn prefetch_skips_resident_without_promotion() {
+        let mut p = BufferPool::new(2);
+        p.access(class(1), pid(1));
+        p.access(class(1), pid(2)); // MRU order: 2, 1
+        let installed = p.prefetch(class(1), [pid(1)]);
+        assert_eq!(installed, 0, "already resident");
+        // Page 1 must still be the LRU: next insert evicts it.
+        p.access(class(1), pid(3));
+        assert!(!p.contains(pid(1)));
+        assert!(p.contains(pid(2)));
+    }
+
+    #[test]
+    fn idle_class_reads_perfect_ratio() {
+        let p = BufferPool::new(4);
+        assert_eq!(p.class_counters(class(9)).hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn drain_counters_resets_accounting_only() {
+        let mut p = BufferPool::new(4);
+        p.access(class(1), pid(1));
+        let drained = p.drain_counters();
+        assert_eq!(drained[&class(1)].misses, 1);
+        assert_eq!(p.class_counters(class(1)), ClassCounters::default());
+        assert!(p.contains(pid(1)), "pages survive interval close");
+    }
+
+    #[test]
+    fn shrink_evicts() {
+        let mut p = BufferPool::new(8);
+        for i in 0..8 {
+            p.access(class(1), pid(i));
+        }
+        p.resize(3);
+        assert_eq!(p.resident(), 3);
+        assert!(p.contains(pid(7)));
+        assert!(!p.contains(pid(0)));
+    }
+}

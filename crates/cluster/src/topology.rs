@@ -1,0 +1,41 @@
+//! Cluster topology identifiers and configuration.
+
+use std::fmt;
+
+/// One database instance (one `DbEngine`, i.e. one MySQL process in the
+/// paper). A physical server can host several, in the same or different
+/// VM domains; an application's *replica set* is a set of instances.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub u32);
+
+impl fmt::Debug for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst{}", self.0)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst{}", self.0)
+    }
+}
+
+/// Errors from replica provisioning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProvisionError {
+    /// Every server in the pool is already in use by this application.
+    NoFreeServer,
+    /// The application is unknown to the resource manager.
+    UnknownApp,
+}
+
+impl fmt::Display for ProvisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvisionError::NoFreeServer => write!(f, "no free server in the pool"),
+            ProvisionError::UnknownApp => write!(f, "unknown application"),
+        }
+    }
+}
+
+impl std::error::Error for ProvisionError {}

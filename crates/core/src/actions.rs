@@ -1,0 +1,181 @@
+//! The actions a controller can take, reported back to the harness so
+//! every experiment can narrate what the control loop did.
+
+use odlb_cluster::InstanceId;
+use odlb_metrics::{AppId, ClassId};
+use std::fmt;
+
+/// One control action (or notable diagnosis event) in an interval.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Outlier detection ran and flagged these contexts.
+    DetectedOutliers {
+        /// Instance diagnosed.
+        instance: InstanceId,
+        /// Outlier contexts found.
+        contexts: Vec<ClassId>,
+        /// Mild findings count.
+        mild: usize,
+        /// Extreme findings count.
+        extreme: usize,
+    },
+    /// A class's MRC was recomputed during diagnosis.
+    RecomputedMrc {
+        /// Instance whose window was replayed.
+        instance: InstanceId,
+        /// The class.
+        class: ClassId,
+        /// Acceptable memory (pages) from the fresh curve.
+        acceptable_pages: usize,
+        /// Whether the parameters changed significantly vs. stable.
+        changed: bool,
+    },
+    /// A buffer-pool quota was enforced (placement kept).
+    SetQuota {
+        /// Instance carrying the quota.
+        instance: InstanceId,
+        /// The problem class.
+        class: ClassId,
+        /// Pages granted.
+        pages: usize,
+    },
+    /// A class was re-placed onto a different replica.
+    PlacedClass {
+        /// The class's application.
+        app: AppId,
+        /// The class.
+        class: ClassId,
+        /// Where its reads now go.
+        to: InstanceId,
+    },
+    /// A replica was provisioned (CPU saturation or placement need).
+    ProvisionedReplica {
+        /// The application getting the replica.
+        app: AppId,
+        /// The new instance (serving after the warm-up delay).
+        instance: InstanceId,
+    },
+    /// A replica was released back to the pool.
+    RetiredReplica {
+        /// The application shrinking.
+        app: AppId,
+        /// The instance released.
+        instance: InstanceId,
+    },
+    /// The coarse-grained fallback isolated an application.
+    CoarseFallback {
+        /// The application isolated.
+        app: AppId,
+    },
+    /// Lock contention detected on a class (the paper's §7 future work):
+    /// its lock-wait metric is an outlier in the degradation direction.
+    /// Diagnosis-only — re-placement cannot help a write class under
+    /// read-one-write-all, so the finding is surfaced to the operator.
+    DetectedLockContention {
+        /// Instance where the contention shows.
+        instance: InstanceId,
+        /// The contended class.
+        class: ClassId,
+        /// Its lock-wait deviation ratio vs stable.
+        ratio: f64,
+    },
+    /// A whole VM (database instance) was live-migrated between servers —
+    /// the coarse baseline remedy.
+    MigratedVm {
+        /// The instance moved.
+        instance: InstanceId,
+        /// Source server.
+        from: odlb_metrics::ServerId,
+        /// Destination server.
+        to: odlb_metrics::ServerId,
+    },
+    /// I/O interference: a class was moved off a disk-saturated server.
+    MovedIoHeavyClass {
+        /// The class's application.
+        app: AppId,
+        /// The class moved.
+        class: ClassId,
+        /// Destination replica.
+        to: InstanceId,
+    },
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::DetectedOutliers {
+                instance,
+                contexts,
+                mild,
+                extreme,
+            } => write!(
+                f,
+                "outliers on {instance}: {} contexts ({mild} mild, {extreme} extreme): {}",
+                contexts.len(),
+                contexts
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Action::RecomputedMrc {
+                instance,
+                class,
+                acceptable_pages,
+                changed,
+            } => write!(
+                f,
+                "recomputed MRC of {class} on {instance}: acceptable {acceptable_pages} pages ({})",
+                if *changed { "CHANGED" } else { "unchanged" }
+            ),
+            Action::SetQuota {
+                instance,
+                class,
+                pages,
+            } => write!(f, "quota: {class} limited to {pages} pages on {instance}"),
+            Action::PlacedClass { app, class, to } => {
+                write!(f, "placed {class} of {app} onto {to}")
+            }
+            Action::ProvisionedReplica { app, instance } => {
+                write!(f, "provisioned {instance} for {app}")
+            }
+            Action::RetiredReplica { app, instance } => {
+                write!(f, "retired {instance} of {app}")
+            }
+            Action::CoarseFallback { app } => {
+                write!(f, "coarse-grained fallback: isolating {app}")
+            }
+            Action::MovedIoHeavyClass { app, class, to } => {
+                write!(f, "I/O interference: moved {class} of {app} to {to}")
+            }
+            Action::DetectedLockContention {
+                instance,
+                class,
+                ratio,
+            } => write!(
+                f,
+                "lock contention: {class} on {instance} waits {ratio:.1}x its stable state"
+            ),
+            Action::MigratedVm { instance, from, to } => {
+                write!(f, "live-migrated {instance} from {from} to {to}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let a = Action::SetQuota {
+            instance: InstanceId(0),
+            class: ClassId::new(AppId(0), 8),
+            pages: 3695,
+        };
+        let s = a.to_string();
+        assert!(s.contains("3695"));
+        assert!(s.contains("app0#8"));
+    }
+}

@@ -1,0 +1,626 @@
+//! The selective retuning controller — the paper's §3 algorithm as a
+//! per-interval control loop over the simulated cluster.
+
+use crate::actions::Action;
+use crate::config::ControllerConfig;
+use crate::memory::{
+    find_problem_classes, instance_key, pick_replacement_target, plan_memory_action,
+    MemoryPlan,
+};
+use odlb_cluster::{InstanceId, IntervalOutcome, Simulation};
+use odlb_metrics::{AppId, ClassId, MetricKind, StableStateStore};
+use odlb_outlier::{detect, top_k_heavyweight, Severity};
+use std::collections::HashMap;
+
+/// Anything that can steer the cluster between measurement intervals.
+pub trait ClusterController {
+    /// Inspects one closed interval and applies actions through `sim`.
+    fn on_interval(&mut self, sim: &mut Simulation, outcome: &IntervalOutcome) -> Vec<Action>;
+}
+
+/// The paper's controller: stable-state tracking, outlier-driven
+/// diagnosis, MRC-validated memory actions, CPU provisioning, I/O-rate
+/// eviction, and a coarse-grained last resort.
+pub struct SelectiveRetuningController {
+    config: ControllerConfig,
+    stable: StableStateStore,
+    cooldown: HashMap<AppId, u32>,
+    streak: HashMap<AppId, u32>,
+    /// Class placements waiting for a provisioned replica to warm up.
+    pending_placements: Vec<(AppId, ClassId, InstanceId)>,
+    /// Whole-app isolations waiting for their replica.
+    pending_isolations: Vec<(AppId, InstanceId)>,
+}
+
+impl SelectiveRetuningController {
+    /// Creates a controller with the given configuration.
+    pub fn new(config: ControllerConfig) -> Self {
+        SelectiveRetuningController {
+            config,
+            stable: StableStateStore::new(),
+            cooldown: HashMap::new(),
+            streak: HashMap::new(),
+            pending_placements: Vec::new(),
+            pending_isolations: Vec::new(),
+        }
+    }
+
+    /// Read access to the stable-state store (for harness reporting).
+    pub fn stable_store(&self) -> &StableStateStore {
+        &self.stable
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    fn on_cooldown(&self, app: AppId) -> bool {
+        self.cooldown.get(&app).copied().unwrap_or(0) > 0
+    }
+
+    fn start_cooldown(&mut self, app: AppId) {
+        self.cooldown.insert(app, self.config.cooldown_intervals);
+    }
+
+    /// Finishes deferred placements whose target replica is now serving.
+    fn complete_pending(&mut self, sim: &mut Simulation, actions: &mut Vec<Action>) {
+        let mut remaining = Vec::new();
+        for (app, class, target) in self.pending_placements.drain(..) {
+            if sim.replicas_of(app).contains(&target) {
+                sim.place_class(app, class, vec![target]);
+                actions.push(Action::PlacedClass {
+                    app,
+                    class,
+                    to: target,
+                });
+            } else {
+                remaining.push((app, class, target));
+            }
+        }
+        self.pending_placements = remaining;
+
+        let mut remaining = Vec::new();
+        for (app, target) in self.pending_isolations.drain(..) {
+            if sim.replicas_of(app).contains(&target) {
+                let class_count = sim.workload(app).classes.len();
+                for idx in 0..class_count {
+                    let class = ClassId::new(app, idx as u32);
+                    sim.place_class(app, class, vec![target]);
+                }
+                actions.push(Action::CoarseFallback { app });
+            } else {
+                remaining.push((app, target));
+            }
+        }
+        self.pending_isolations = remaining;
+    }
+
+    /// Refreshes stable-state signatures for every application whose SLA
+    /// held this interval (§3.3).
+    fn record_stable_states(&mut self, outcome: &IntervalOutcome) {
+        for (&instance, report) in &outcome.reports {
+            for (&class, &metrics) in &report.per_class {
+                let met = outcome
+                    .sla
+                    .get(&class.app)
+                    .is_some_and(|s| !s.is_violation());
+                if met {
+                    self.stable
+                        .record_stable(instance_key(instance), class, metrics, outcome.end);
+                }
+            }
+        }
+    }
+
+    /// "The MRC is determined when a query class is first scheduled on the
+    /// system" (§3.3): during stable intervals, compute the reference MRC
+    /// of any class that does not have one yet, so later diagnosis can
+    /// tell *changed* curves from *unknown* ones. One-shot per class.
+    fn ensure_initial_mrcs(&mut self, sim: &Simulation, outcome: &IntervalOutcome) {
+        for (&instance, report) in &outcome.reports {
+            let key = instance_key(instance);
+            for &class in report.per_class.keys() {
+                let met = outcome
+                    .sla
+                    .get(&class.app)
+                    .is_some_and(|s| !s.is_violation());
+                let has_mrc = self
+                    .stable
+                    .get(key, class)
+                    .is_some_and(|s| s.mrc.is_some());
+                if met && !has_mrc {
+                    let cap = sim.pool_pages(instance);
+                    if let Some(curve) = sim.recompute_mrc(instance, class, cap) {
+                        let params = curve.params(cap, self.config.mrc_threshold);
+                        self.stable.record_mrc(key, class, params, outcome.end);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when any server hosting a replica of `app` is CPU-saturated.
+    fn cpu_saturated(&self, sim: &Simulation, outcome: &IntervalOutcome, app: AppId) -> bool {
+        sim.replicas_of(app).iter().any(|&inst| {
+            let server = sim.server_of(inst);
+            outcome
+                .servers
+                .iter()
+                .any(|s| s.server == server && s.cpu_utilisation >= self.config.cpu_saturation)
+        })
+    }
+
+    /// True when any server hosting a replica of `app` is I/O-saturated.
+    fn io_saturated_server(
+        &self,
+        sim: &Simulation,
+        outcome: &IntervalOutcome,
+        app: AppId,
+    ) -> Option<InstanceId> {
+        sim.replicas_of(app).into_iter().find(|&inst| {
+            let server = sim.server_of(inst);
+            outcome
+                .servers
+                .iter()
+                .any(|s| s.server == server && s.io_utilisation >= self.config.io_saturation)
+        })
+    }
+
+    /// Moves `class` away from `from`: onto an existing fitting replica,
+    /// or provisions one and defers the placement.
+    fn replace_class(
+        &mut self,
+        sim: &mut Simulation,
+        from: InstanceId,
+        class: ClassId,
+        needed_pages: usize,
+        actions: &mut Vec<Action>,
+    ) {
+        // A placement for this class may already be in flight (e.g. two
+        // applications diagnosed the same interferer this interval).
+        if self
+            .pending_placements
+            .iter()
+            .any(|(a, c, _)| *a == class.app && *c == class)
+        {
+            return;
+        }
+        match pick_replacement_target(sim, class, needed_pages, from) {
+            Some(target) => {
+                sim.place_class(class.app, class, vec![target]);
+                actions.push(Action::PlacedClass {
+                    app: class.app,
+                    class,
+                    to: target,
+                });
+            }
+            None => {
+                if let Ok(instance) = sim.provision_replica(class.app) {
+                    actions.push(Action::ProvisionedReplica {
+                        app: class.app,
+                        instance,
+                    });
+                    self.pending_placements.push((class.app, class, instance));
+                }
+                // No free server: nothing to do this interval; the streak
+                // keeps growing and the coarse fallback will eventually
+                // fire (and also fail gracefully if the pool is empty).
+            }
+        }
+    }
+
+    /// The per-application diagnosis on an SLA violation (§3.2–3.3).
+    fn diagnose_and_act(
+        &mut self,
+        sim: &mut Simulation,
+        outcome: &IntervalOutcome,
+        app: AppId,
+        actions: &mut Vec<Action>,
+    ) {
+        // (a) CPU saturation → reactive replica provisioning (§5.2).
+        if self.cpu_saturated(sim, outcome, app) {
+            if let Ok(instance) = sim.provision_replica(app) {
+                actions.push(Action::ProvisionedReplica { app, instance });
+                self.start_cooldown(app);
+            }
+            return;
+        }
+
+        // (b) Per-instance outlier diagnosis over ALL classes scheduled
+        // there (interference can come from another application).
+        for inst in sim.replicas_of(app) {
+            let Some(report) = outcome.reports.get(&inst) else {
+                continue;
+            };
+            if report.per_class.is_empty() {
+                continue;
+            }
+            let key = instance_key(inst);
+            // The paper's precondition (§3): diagnosis compares against
+            // stable state, which must have been reached at least once.
+            // With no baseline at all (cold start), deviation ratios are
+            // meaningless — wait for a stable interval instead of acting.
+            let any_baseline = report
+                .per_class
+                .keys()
+                .any(|&c| self.stable.get(key, c).is_some());
+            if !any_baseline {
+                continue;
+            }
+            let detection = detect(&self.config.outlier, &report.per_class, |c| {
+                self.stable.get(key, c).map(|s| s.metrics)
+            });
+            if !detection.is_empty() {
+                actions.push(Action::DetectedOutliers {
+                    instance: inst,
+                    contexts: detection.outlier_contexts(),
+                    mild: detection.count_severity(Severity::Mild),
+                    extreme: detection.count_severity(Severity::Extreme),
+                });
+            }
+            // §7 future work: surface lock-contention anomalies. No
+            // automatic remedy — writes run on every replica under
+            // read-one-write-all, so neither quotas nor re-placement can
+            // dissolve a lock hotspot; the operator (or the application)
+            // must act.
+            let mut lock_contention = false;
+            for (&class, findings) in &detection.findings {
+                for f in findings {
+                    if f.metric == MetricKind::LockWaits && f.indicates_degradation() {
+                        lock_contention = true;
+                        actions.push(Action::DetectedLockContention {
+                            instance: inst,
+                            class,
+                            ratio: f.ratio,
+                        });
+                    }
+                }
+            }
+            // Suspects: memory-metric outliers + newly scheduled classes;
+            // when empty, the top-k heavyweight fallback (§3.3.2).
+            let mut suspects = detection.memory_suspects();
+            for c in &detection.new_classes {
+                if !suspects.contains(c) {
+                    suspects.push(*c);
+                }
+            }
+            if suspects.is_empty() {
+                if lock_contention {
+                    // The violation is explained by lock waits; probing
+                    // heavyweight classes for memory problems would only
+                    // produce spurious quotas.
+                    self.start_cooldown(app);
+                    continue;
+                }
+                suspects =
+                    top_k_heavyweight(&report.per_class, MetricKind::PageAccesses, self.config.top_k);
+            }
+            let (problems, examined) = find_problem_classes(
+                sim,
+                inst,
+                &suspects,
+                &mut self.stable,
+                &self.config,
+                outcome.end,
+            );
+            for (class, params, changed) in examined {
+                actions.push(Action::RecomputedMrc {
+                    instance: inst,
+                    class,
+                    acceptable_pages: params.acceptable_memory_needed,
+                    changed,
+                });
+            }
+            match plan_memory_action(sim, inst, report, &problems, &self.config) {
+                MemoryPlan::Quotas(quotas) => {
+                    for (class, pages) in quotas {
+                        // Re-quota: drop any existing partition first.
+                        sim.clear_quota(inst, class);
+                        if sim.set_quota(inst, class, pages).is_ok() {
+                            actions.push(Action::SetQuota {
+                                instance: inst,
+                                class,
+                                pages,
+                            });
+                        }
+                    }
+                    self.start_cooldown(app);
+                    return;
+                }
+                MemoryPlan::Replace {
+                    class,
+                    needed_pages,
+                } => {
+                    self.replace_class(sim, inst, class, needed_pages, actions);
+                    self.start_cooldown(app);
+                    return;
+                }
+                MemoryPlan::Nothing => {}
+            }
+        }
+
+        // (c) I/O interference (§3.3.3): move the highest-I/O-rate class
+        // off the saturated server. Gated on stable state existing, like
+        // the memory path: a cold pool saturates the disk transiently and
+        // must not trigger re-placements.
+        if let Some(inst) = self.io_saturated_server(sim, outcome, app) {
+            let has_baseline = outcome.reports.get(&inst).is_some_and(|r| {
+                r.per_class
+                    .keys()
+                    .any(|&c| self.stable.get(instance_key(inst), c).is_some())
+            });
+            if !has_baseline {
+                return;
+            }
+            if let Some(report) = outcome.reports.get(&inst) {
+                let top_io =
+                    top_k_heavyweight(&report.per_class, MetricKind::IoRequests, 1);
+                if let Some(&class) = top_io.first() {
+                    let needed = self
+                        .stable
+                        .get(instance_key(inst), class)
+                        .and_then(|s| s.mrc)
+                        .map(|m| m.acceptable_memory_needed)
+                        .unwrap_or(0);
+                    self.replace_class(sim, inst, class, needed, actions);
+                    if let Some(Action::PlacedClass { app: a, class: c, to }) =
+                        actions.last().cloned()
+                    {
+                        // Re-tag for reporting: this was the I/O path.
+                        actions.pop();
+                        actions.push(Action::MovedIoHeavyClass { app: a, class: c, to });
+                    }
+                    self.start_cooldown(app);
+                }
+            }
+        }
+    }
+
+    /// Releases a replica when the application is comfortably under its
+    /// SLA and its servers are mostly idle.
+    fn maybe_release(
+        &mut self,
+        sim: &mut Simulation,
+        outcome: &IntervalOutcome,
+        app: AppId,
+        actions: &mut Vec<Action>,
+    ) {
+        let replicas = sim.replicas_of(app);
+        if replicas.len() <= self.config.min_replicas {
+            return;
+        }
+        let utils: Vec<f64> = replicas
+            .iter()
+            .map(|&inst| {
+                let server = sim.server_of(inst);
+                outcome
+                    .servers
+                    .iter()
+                    .find(|s| s.server == server)
+                    .map(|s| s.cpu_utilisation)
+                    .unwrap_or(1.0)
+            })
+            .collect();
+        let all_idle = utils.iter().all(|&u| u < self.config.cpu_release);
+        // Hysteresis: releasing must not re-saturate the survivors. The
+        // victim's load spreads over the remaining replicas; require the
+        // projected utilisation to stay well under the saturation trigger.
+        let projected =
+            utils.iter().sum::<f64>() / (replicas.len() as f64 - 1.0);
+        if all_idle && projected < self.config.cpu_saturation * 0.75 {
+            // Candidate: the most recently added replica. Never retire a
+            // replica that carries a pinned class — that would silently
+            // undo a fine-grained placement decision.
+            let victim = *replicas.last().expect("non-empty");
+            if sim.is_pinned_target(app, victim) {
+                return;
+            }
+            sim.retire_replica(app, victim);
+            actions.push(Action::RetiredReplica {
+                app,
+                instance: victim,
+            });
+            self.start_cooldown(app);
+        }
+    }
+}
+
+impl ClusterController for SelectiveRetuningController {
+    fn on_interval(&mut self, sim: &mut Simulation, outcome: &IntervalOutcome) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.complete_pending(sim, &mut actions);
+        self.record_stable_states(outcome);
+        self.ensure_initial_mrcs(sim, outcome);
+
+        for c in self.cooldown.values_mut() {
+            *c = c.saturating_sub(1);
+        }
+
+        let apps: Vec<AppId> = outcome.sla.keys().copied().collect();
+        for app in apps {
+            let violated = outcome.sla[&app].is_violation();
+            if violated {
+                let streak = self.streak.entry(app).or_insert(0);
+                *streak += 1;
+                let streak = *streak;
+                if self.on_cooldown(app) {
+                    continue;
+                }
+                if streak >= self.config.fallback_after {
+                    // Coarse-grained last resort: isolate the application
+                    // on a fresh replica (§3.3.2 "we fall back on the
+                    // coarse grained allocation solutions").
+                    if let Ok(instance) = sim.provision_replica(app) {
+                        actions.push(Action::ProvisionedReplica { app, instance });
+                        self.pending_isolations.push((app, instance));
+                        self.streak.insert(app, 0);
+                        self.start_cooldown(app);
+                    }
+                    continue;
+                }
+                self.diagnose_and_act(sim, outcome, app, &mut actions);
+            } else {
+                self.streak.insert(app, 0);
+                if !self.on_cooldown(app) {
+                    self.maybe_release(sim, outcome, app, &mut actions);
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odlb_cluster::SimulationConfig;
+    use odlb_engine::EngineConfig;
+    use odlb_metrics::Sla;
+    use odlb_storage::DomainId;
+    use odlb_workload::tpcw::{tpcw_workload, TpcwConfig};
+    use odlb_workload::{ClientConfig, LoadFunction};
+
+    fn quiet_sim() -> (Simulation, AppId) {
+        let mut sim = Simulation::new(SimulationConfig {
+            seed: 5,
+            ..Default::default()
+        });
+        let s = sim.add_server(4);
+        let inst = sim.add_instance(s, DomainId(1), EngineConfig::default());
+        let app = sim.add_app(
+            tpcw_workload(TpcwConfig::default()),
+            Sla::one_second(),
+            ClientConfig::default(),
+            LoadFunction::Constant(6),
+        );
+        sim.assign_replica(app, inst);
+        sim.start();
+        (sim, app)
+    }
+
+    #[test]
+    fn stable_intervals_build_signatures_and_take_no_action() {
+        let (mut sim, _) = quiet_sim();
+        let mut ctl = SelectiveRetuningController::new(ControllerConfig::default());
+        let mut total_actions = 0;
+        for _ in 0..4 {
+            let outcome = sim.run_interval();
+            total_actions += ctl.on_interval(&mut sim, &outcome).len();
+        }
+        assert_eq!(total_actions, 0, "quiet system needs no actions");
+        assert!(
+            ctl.stable_store().len() >= 10,
+            "signatures recorded for active classes, got {}",
+            ctl.stable_store().len()
+        );
+    }
+
+    #[test]
+    fn cpu_saturation_triggers_provisioning() {
+        let mut sim = Simulation::new(SimulationConfig {
+            seed: 6,
+            ..Default::default()
+        });
+        let s1 = sim.add_server(1); // tiny server saturates quickly
+        sim.add_server(1); // free pool
+        let inst = sim.add_instance(s1, DomainId(1), EngineConfig::default());
+        // Cache-resident CPU-heavy workload: overload is purely CPU.
+        let app = sim.add_app(
+            odlb_workload::synthetic::cpu_bound_workload(odlb_metrics::AppId(0), 64, 8),
+            Sla::new(odlb_sim::SimDuration::from_millis(150)),
+            ClientConfig {
+                think_time_mean: odlb_sim::SimDuration::from_millis(100),
+                load_noise: 0.0,
+            },
+            LoadFunction::Constant(60),
+        );
+        sim.assign_replica(app, inst);
+        sim.start();
+        let mut ctl = SelectiveRetuningController::new(ControllerConfig::default());
+        let mut provisioned = false;
+        let mut max_replicas = 1;
+        for _ in 0..12 {
+            let outcome = sim.run_interval();
+            for a in ctl.on_interval(&mut sim, &outcome) {
+                if matches!(a, Action::ProvisionedReplica { .. }) {
+                    provisioned = true;
+                }
+            }
+            max_replicas = max_replicas.max(sim.replicas_of(app).len());
+        }
+        assert!(provisioned, "overload must provision a replica");
+        assert!(max_replicas >= 2, "the replica must come into service");
+    }
+
+    #[test]
+    fn idle_overprovisioned_app_releases_replicas() {
+        let mut sim = Simulation::new(SimulationConfig {
+            seed: 8,
+            ..Default::default()
+        });
+        let s1 = sim.add_server(4);
+        let s2 = sim.add_server(4);
+        let i1 = sim.add_instance(s1, DomainId(1), EngineConfig::default());
+        let i2 = sim.add_instance(s2, DomainId(1), EngineConfig::default());
+        let app = sim.add_app(
+            tpcw_workload(TpcwConfig::default()),
+            Sla::one_second(),
+            ClientConfig::default(),
+            LoadFunction::Constant(2),
+        );
+        sim.assign_replica(app, i1);
+        sim.assign_replica(app, i2);
+        sim.start();
+        let mut ctl = SelectiveRetuningController::new(ControllerConfig::default());
+        let mut retired = false;
+        for _ in 0..6 {
+            let outcome = sim.run_interval();
+            for a in ctl.on_interval(&mut sim, &outcome) {
+                if matches!(a, Action::RetiredReplica { .. }) {
+                    retired = true;
+                }
+            }
+        }
+        assert!(retired, "idle second replica must be released");
+        assert_eq!(sim.replicas_of(app).len(), 1);
+    }
+
+    #[test]
+    fn cooldown_prevents_action_storms() {
+        let mut sim = Simulation::new(SimulationConfig {
+            seed: 10,
+            ..Default::default()
+        });
+        let s1 = sim.add_server(1);
+        sim.add_server(1);
+        sim.add_server(1);
+        sim.add_server(1);
+        let inst = sim.add_instance(s1, DomainId(1), EngineConfig::default());
+        let app = sim.add_app(
+            odlb_workload::synthetic::cpu_bound_workload(odlb_metrics::AppId(0), 64, 8),
+            Sla::new(odlb_sim::SimDuration::from_millis(100)),
+            ClientConfig {
+                think_time_mean: odlb_sim::SimDuration::from_millis(100),
+                load_noise: 0.0,
+            },
+            LoadFunction::Constant(80),
+        );
+        sim.assign_replica(app, inst);
+        sim.start();
+        let mut ctl = SelectiveRetuningController::new(ControllerConfig::default());
+        let mut provisions_in_first_two_ticks = 0;
+        for _ in 0..2 {
+            let outcome = sim.run_interval();
+            provisions_in_first_two_ticks += ctl
+                .on_interval(&mut sim, &outcome)
+                .iter()
+                .filter(|a| matches!(a, Action::ProvisionedReplica { .. }))
+                .count();
+        }
+        assert!(
+            provisions_in_first_two_ticks <= 1,
+            "cooldown must throttle provisioning, got {provisions_in_first_two_ticks}"
+        );
+    }
+}

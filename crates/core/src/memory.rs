@@ -1,0 +1,346 @@
+//! Memory interference diagnosis and alleviation planning (§3.3.2).
+//!
+//! Given the suspect classes surfaced by outlier detection (plus newly
+//! scheduled classes), this module recomputes their MRCs from the recent
+//! access windows, decides which are *problem classes* (parameters changed
+//! significantly, or no prior curve exists), and plans the narrowest
+//! action: per-class buffer-pool quotas when everything fits at its
+//! acceptable memory, otherwise re-placement of the biggest problem class.
+
+use crate::config::ControllerConfig;
+use odlb_cluster::{InstanceId, Simulation};
+use odlb_metrics::{ClassId, IntervalReport, MetricKind, ServerId, StableStateStore};
+use odlb_mrc::{fit_quotas, MrcParams, QuotaRequest};
+use odlb_sim::SimTime;
+
+/// Stable-store key for an instance (the paper's per-server context; one
+/// engine per server in its testbed, so the instance is the natural key).
+pub fn instance_key(instance: InstanceId) -> ServerId {
+    ServerId(instance.0)
+}
+
+/// A class confirmed as a likely memory-interference cause.
+#[derive(Clone, Debug)]
+pub struct ProblemClass {
+    /// The class.
+    pub class: ClassId,
+    /// Its freshly recomputed MRC parameters.
+    pub params: MrcParams,
+    /// Whether the parameters differ significantly from the stable record
+    /// (false only for brand-new classes, which are problems by default).
+    pub changed: bool,
+}
+
+/// The planned alleviation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MemoryPlan {
+    /// Everything fits: enforce quotas for the problem classes, keep
+    /// placement (§3.3.2 option two).
+    Quotas(Vec<(ClassId, usize)>),
+    /// The instance is over-committed: re-place the biggest problem class
+    /// on another replica of its application (§3.3.2 option one).
+    Replace {
+        /// The class to move.
+        class: ClassId,
+        /// Its acceptable memory need (pages), for target selection.
+        needed_pages: usize,
+    },
+    /// No action derivable (e.g. no curves available).
+    Nothing,
+}
+
+/// Recomputes MRCs for `suspects` on `instance` and filters them to
+/// problem classes. Fresh parameters are recorded into the stable store
+/// (they become the new reference, as in the paper where the MRC is only
+/// recomputed at diagnosis time). Returns the problem classes plus the
+/// list of `(class, params, changed)` examined, for action logging.
+#[allow(clippy::type_complexity)]
+pub fn find_problem_classes(
+    sim: &Simulation,
+    instance: InstanceId,
+    suspects: &[ClassId],
+    stable: &mut StableStateStore,
+    config: &ControllerConfig,
+    now: SimTime,
+) -> (Vec<ProblemClass>, Vec<(ClassId, MrcParams, bool)>) {
+    let cap = sim.pool_pages(instance);
+    let key = instance_key(instance);
+    let mut problems = Vec::new();
+    let mut examined = Vec::new();
+    for &class in suspects {
+        let Some(curve) = sim.recompute_mrc(instance, class, cap) else {
+            continue;
+        };
+        let params = curve.params(cap, config.mrc_threshold);
+        let prior = stable.get(key, class).and_then(|s| s.mrc);
+        let (is_problem, changed) = match prior {
+            Some(old) => {
+                let changed = params.significantly_different_from(
+                    &old,
+                    config.mrc_change_rel,
+                    config.mrc_ratio_slack,
+                );
+                (changed, changed)
+            }
+            // New class with no prior curve: problem by definition
+            // ("this case includes new query classes …").
+            None => (true, false),
+        };
+        stable.record_mrc(key, class, params, now);
+        examined.push((class, params, changed));
+        if is_problem {
+            problems.push(ProblemClass {
+                class,
+                params,
+                changed,
+            });
+        }
+    }
+    (problems, examined)
+}
+
+/// Plans the alleviation for one instance: can all classes scheduled
+/// there be given their acceptable memory simultaneously?
+pub fn plan_memory_action(
+    sim: &Simulation,
+    instance: InstanceId,
+    report: &IntervalReport,
+    problems: &[ProblemClass],
+    config: &ControllerConfig,
+) -> MemoryPlan {
+    if problems.is_empty() {
+        return MemoryPlan::Nothing;
+    }
+    let cap = sim.pool_pages(instance);
+    // Recompute the curve of every class active on this instance; the fit
+    // must account for "the rest of the application queries scheduled on
+    // the same physical server".
+    let mut curves = Vec::new();
+    for (&class, metrics) in &report.per_class {
+        if let Some(curve) = sim.recompute_mrc(instance, class, cap) {
+            let rate = metrics[MetricKind::Throughput];
+            curves.push((class, curve, rate));
+        }
+    }
+    if curves.is_empty() {
+        return MemoryPlan::Nothing;
+    }
+    let requests: Vec<QuotaRequest<'_>> = curves
+        .iter()
+        .map(|(class, curve, rate)| {
+            let params = curve.params(cap, config.mrc_threshold);
+            QuotaRequest {
+                id: class.as_u64(),
+                curve,
+                acceptable_pages: params.acceptable_memory_needed,
+                access_rate: *rate,
+            }
+        })
+        .collect();
+
+    // Keep at least one page for the general partition.
+    let budget = cap.saturating_sub(1);
+    match fit_quotas(budget, &requests) {
+        Some(assignments) => {
+            let quotas = problems
+                .iter()
+                .filter_map(|p| {
+                    assignments
+                        .iter()
+                        .find(|a| a.id == p.class.as_u64())
+                        .map(|a| (p.class, a.pages.max(config.min_quota_pages).min(budget)))
+                })
+                .filter(|(_, pages)| *pages > 0)
+                .collect::<Vec<_>>();
+            if quotas.is_empty() {
+                MemoryPlan::Nothing
+            } else {
+                MemoryPlan::Quotas(quotas)
+            }
+        }
+        None => {
+            // Over-committed: move the problem class with the largest
+            // acceptable need.
+            let biggest = problems
+                .iter()
+                .max_by_key(|p| p.params.acceptable_memory_needed)
+                .expect("problems non-empty");
+            MemoryPlan::Replace {
+                class: biggest.class,
+                needed_pages: biggest.params.acceptable_memory_needed,
+            }
+        }
+    }
+}
+
+/// Picks the replica of `class.app` (other than `exclude`) best suited to
+/// host a re-placed class: the one with the largest pool that can fit
+/// `needed_pages`. Returns `None` when no existing replica fits — the
+/// controller then provisions a new one.
+pub fn pick_replacement_target(
+    sim: &Simulation,
+    class: ClassId,
+    needed_pages: usize,
+    exclude: InstanceId,
+) -> Option<InstanceId> {
+    sim.replicas_of(class.app)
+        .into_iter()
+        .filter(|&i| i != exclude)
+        .filter(|&i| sim.pool_pages(i) >= needed_pages)
+        .max_by_key(|&i| (sim.pool_pages(i), std::cmp::Reverse(i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odlb_cluster::SimulationConfig;
+    use odlb_engine::EngineConfig;
+    use odlb_metrics::{AppId, Sla};
+    use odlb_storage::DomainId;
+    use odlb_workload::tpcw::{tpcw_workload, TpcwConfig};
+    use odlb_workload::{ClientConfig, LoadFunction};
+
+    fn sim_with_traffic() -> (Simulation, AppId, InstanceId, IntervalReport) {
+        let mut sim = Simulation::new(SimulationConfig {
+            seed: 21,
+            ..Default::default()
+        });
+        let s = sim.add_server(4);
+        let inst = sim.add_instance(s, DomainId(1), EngineConfig::default());
+        let app = sim.add_app(
+            tpcw_workload(TpcwConfig::default()),
+            Sla::one_second(),
+            ClientConfig::default(),
+            LoadFunction::Constant(8),
+        );
+        sim.assign_replica(app, inst);
+        sim.start();
+        sim.run_interval();
+        let outcome = sim.run_interval();
+        let report = outcome.reports[&inst].clone();
+        (sim, app, inst, report)
+    }
+
+    #[test]
+    fn new_classes_are_problems_and_get_recorded() {
+        let (sim, app, inst, _) = sim_with_traffic();
+        let mut stable = StableStateStore::new();
+        let suspects = vec![ClassId::new(app, 0), ClassId::new(app, 1)];
+        let config = ControllerConfig::default();
+        let (problems, examined) = find_problem_classes(
+            &sim,
+            inst,
+            &suspects,
+            &mut stable,
+            &config,
+            sim.now(),
+        );
+        assert_eq!(problems.len(), 2, "no prior MRC: both are problems");
+        assert!(problems.iter().all(|p| !p.changed));
+        assert_eq!(examined.len(), 2);
+        // Parameters are now the stable reference: re-running finds no
+        // problems.
+        let (again, _) = find_problem_classes(
+            &sim,
+            inst,
+            &suspects,
+            &mut stable,
+            &config,
+            sim.now(),
+        );
+        assert!(again.is_empty(), "unchanged curves are not problems");
+    }
+
+    #[test]
+    fn unknown_class_is_skipped() {
+        let (sim, _, inst, _) = sim_with_traffic();
+        let mut stable = StableStateStore::new();
+        let ghost = ClassId::new(AppId(9), 0);
+        let (problems, examined) = find_problem_classes(
+            &sim,
+            inst,
+            &[ghost],
+            &mut stable,
+            &ControllerConfig::default(),
+            sim.now(),
+        );
+        assert!(problems.is_empty());
+        assert!(examined.is_empty());
+    }
+
+    #[test]
+    fn light_classes_fit_as_quotas() {
+        let (sim, app, inst, report) = sim_with_traffic();
+        // Pretend a light class (Home) is the problem: everything fits in
+        // the 8192-page pool, so the plan is a quota, not a move.
+        let problems = vec![ProblemClass {
+            class: ClassId::new(app, 0),
+            params: MrcParams {
+                total_memory_needed: 300,
+                ideal_miss_ratio: 0.01,
+                acceptable_memory_needed: 250,
+                acceptable_miss_ratio: 0.03,
+            },
+            changed: true,
+        }];
+        let plan = plan_memory_action(&sim, inst, &report, &problems, &ControllerConfig::default());
+        match plan {
+            MemoryPlan::Quotas(quotas) => {
+                assert_eq!(quotas.len(), 1);
+                assert_eq!(quotas[0].0, ClassId::new(app, 0));
+                assert!(quotas[0].1 > 0);
+            }
+            other => panic!("expected quotas, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_problem_set_plans_nothing() {
+        let (sim, _, inst, report) = sim_with_traffic();
+        let plan = plan_memory_action(&sim, inst, &report, &[], &ControllerConfig::default());
+        assert_eq!(plan, MemoryPlan::Nothing);
+    }
+
+    #[test]
+    fn replacement_target_prefers_fitting_pool() {
+        let mut sim = Simulation::new(SimulationConfig::default());
+        let s1 = sim.add_server(4);
+        let s2 = sim.add_server(4);
+        let s3 = sim.add_server(4);
+        let i1 = sim.add_instance(s1, DomainId(1), EngineConfig::default());
+        let small = sim.add_instance(
+            s2,
+            DomainId(1),
+            EngineConfig {
+                pool_pages: 1024,
+                ..Default::default()
+            },
+        );
+        let big = sim.add_instance(s3, DomainId(1), EngineConfig::default());
+        let app = sim.add_app(
+            tpcw_workload(TpcwConfig::default()),
+            Sla::one_second(),
+            ClientConfig::default(),
+            LoadFunction::Constant(1),
+        );
+        for i in [i1, small, big] {
+            sim.assign_replica(app, i);
+        }
+        let class = ClassId::new(app, 8);
+        assert_eq!(
+            pick_replacement_target(&sim, class, 7000, i1),
+            Some(big),
+            "only the 8192-page pool fits 7000 pages"
+        );
+        assert_eq!(
+            pick_replacement_target(&sim, class, 500, i1),
+            Some(big),
+            "largest pool wins when several fit"
+        );
+        assert_eq!(
+            pick_replacement_target(&sim, class, 9999, i1),
+            None,
+            "nothing fits"
+        );
+    }
+}

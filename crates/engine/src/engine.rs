@@ -1,0 +1,389 @@
+//! The engine proper: executes queries against the buffer pool, the CPU
+//! station and the shared disk path, and produces instrumentation records.
+
+use crate::locks::LockManager;
+use crate::query::QuerySpec;
+use odlb_bufferpool::{PartitionedPool, QuotaError};
+use odlb_metrics::{
+    ClassId, ClassStatsCollector, IntervalReport, PrivateLogBuffer, QueryLogRecord,
+    WindowRegistry,
+};
+use odlb_mrc::MissRatioCurve;
+use odlb_sim::{SimTime, Station};
+use odlb_storage::{DomainId, IoKind, ReadAheadDetector, SharedIoPath, EXTENT_PAGES};
+
+/// Engine parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Buffer pool size in 16 KiB pages (8192 = the paper's 128 MB).
+    pub pool_pages: usize,
+    /// Sequential accesses within an extent that trigger read-ahead.
+    pub readahead_trigger: u32,
+    /// Recent page accesses retained per class for MRC recomputation.
+    pub window_capacity: usize,
+    /// Private log buffer capacity (records) before flush.
+    pub logbuf_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            pool_pages: 8192,
+            readahead_trigger: 56,
+            window_capacity: 100_000,
+            logbuf_capacity: 64,
+        }
+    }
+}
+
+/// The outcome of executing one query.
+#[derive(Clone, Debug)]
+pub struct ExecutionResult {
+    /// When the query finishes (CPU and all blocking I/O done).
+    pub completion: SimTime,
+    /// The instrumentation record, stamped with completion and latency.
+    pub record: QueryLogRecord,
+}
+
+/// One simulated database engine (one MySQL instance in the paper).
+#[derive(Clone, Debug)]
+pub struct DbEngine {
+    config: EngineConfig,
+    pool: PartitionedPool,
+    readahead: ReadAheadDetector,
+    windows: WindowRegistry,
+    logbuf: PrivateLogBuffer,
+    collector: ClassStatsCollector,
+    locks: LockManager,
+}
+
+impl DbEngine {
+    /// Creates an engine; its measurement clock starts at `now`.
+    pub fn new(config: EngineConfig, now: SimTime) -> Self {
+        DbEngine {
+            pool: PartitionedPool::new(config.pool_pages),
+            readahead: ReadAheadDetector::new(config.readahead_trigger),
+            windows: WindowRegistry::new(config.window_capacity),
+            logbuf: PrivateLogBuffer::new(config.logbuf_capacity),
+            collector: ClassStatsCollector::new(now),
+            locks: LockManager::new(),
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Executes a query arriving at `now`.
+    ///
+    /// The page sequence is played through the buffer pool immediately
+    /// (pool state is updated at arrival — concurrent queries see the
+    /// pages; an accepted simplification over page-grained interleaving).
+    /// Misses are charged as random single-page reads on the server's
+    /// shared I/O path; triggered read-ahead issues an asynchronous
+    /// sequential extent read that occupies the disk but does not block
+    /// this query. CPU demand queues at the server's CPU station. The
+    /// query completes when both its CPU slice and its last blocking read
+    /// are done.
+    pub fn execute(
+        &mut self,
+        now: SimTime,
+        spec: &QuerySpec,
+        cpu: &mut Station,
+        io: &mut SharedIoPath,
+        domain: DomainId,
+    ) -> ExecutionResult {
+        let class = spec.class;
+        let mut misses = 0u64;
+        let mut io_requests = 0u64;
+        let mut readaheads = 0u64;
+        let mut last_io_done = now;
+
+        let mut io_service = odlb_sim::SimDuration::ZERO;
+        for &page in &spec.pages {
+            self.windows.push(class, page);
+            if self.pool.access(class, page).is_miss() {
+                misses += 1;
+                io_requests += 1;
+                let adm = io.read(domain, now, IoKind::Random, 1, false);
+                io_service += adm.completion.since(adm.start);
+                last_io_done = last_io_done.max(adm.completion);
+            }
+            if let Some(start) = self.readahead.observe(class.as_u64(), page) {
+                readaheads += 1;
+                io_requests += 1;
+                // Asynchronous prefetch: occupies the disk, does not block.
+                io.read(domain, now, IoKind::Sequential, EXTENT_PAGES, true);
+                self.pool
+                    .prefetch(class, (0..EXTENT_PAGES).map(|i| start.offset(i)));
+            }
+        }
+
+        let cpu_adm = cpu.submit(now, spec.cpu_demand());
+        let mut completion = cpu_adm.completion.max(last_io_done);
+        // Writes acquire exclusive locks on their update target for the
+        // duration of execution; conflicting writers queue FCFS, and the
+        // waiting time surfaces as the per-class LockWaits metric.
+        // Hold time: the write's own work (CPU and its reads' service
+        // time overlap, so the max), not the queueing delays of the
+        // batched-at-arrival I/O model — those would overstate hold times
+        // and manufacture lock convoys whenever the disk queues.
+        let locked = spec.locked_pages();
+        let lock_wait = if locked.is_empty() {
+            odlb_sim::SimDuration::ZERO
+        } else {
+            let hold = spec.cpu_demand().max(io_service);
+            self.locks.acquire(now, locked, hold)
+        };
+        completion += lock_wait;
+        let record = QueryLogRecord {
+            class,
+            completed_at: completion,
+            latency: completion.since(now),
+            page_accesses: spec.pages.len() as u64,
+            buffer_misses: misses,
+            io_requests,
+            readaheads,
+            lock_wait,
+        };
+        ExecutionResult { completion, record }
+    }
+
+    /// Commits a completed query's record through the private log buffer
+    /// into the per-class collector (call when the completion event fires,
+    /// so interval accounting matches completion times).
+    pub fn commit_record(&mut self, record: QueryLogRecord) {
+        if let Some(batch) = self.logbuf.log(record) {
+            self.collector.record_batch(&batch);
+        }
+    }
+
+    /// Closes the current measurement interval: flushes the log buffer and
+    /// returns per-class interval metrics.
+    pub fn close_interval(&mut self, now: SimTime) -> IntervalReport {
+        let remainder = self.logbuf.flush();
+        self.collector.record_batch(&remainder);
+        self.locks.gc(now);
+        self.collector.close_interval(now)
+    }
+
+    /// Lock-manager observability (contention rate, cumulative wait).
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Recomputes the MRC of `class` from its recent access window
+    /// (§3.3.2's on-demand recomputation). `None` when the class has no
+    /// window on this engine.
+    pub fn recompute_mrc(&self, class: ClassId, cap_pages: usize) -> Option<MissRatioCurve> {
+        self.windows.get(class).map(|w| w.compute_mrc(cap_pages))
+    }
+
+    /// Enforces a buffer-pool quota for a class (§3.3.2, option two).
+    pub fn set_quota(&mut self, class: ClassId, pages: usize) -> Result<(), QuotaError> {
+        self.pool.set_quota(class, pages)
+    }
+
+    /// Removes a class's quota, returning whether one existed.
+    pub fn clear_quota(&mut self, class: ClassId) -> bool {
+        self.pool.clear_quota(class)
+    }
+
+    /// The class's quota, if any.
+    pub fn quota_of(&self, class: ClassId) -> Option<usize> {
+        self.pool.quota_of(class)
+    }
+
+    /// Buffer-pool counters for a class.
+    pub fn pool_counters(&self, class: ClassId) -> odlb_bufferpool::ClassCounters {
+        self.pool.class_counters(class)
+    }
+
+    /// Drops all engine-side state for a class that has been re-placed on
+    /// another replica (window, read-ahead runs, quota).
+    pub fn forget_class(&mut self, class: ClassId) {
+        self.windows.forget(class);
+        self.readahead.reset_consumer(class.as_u64());
+        self.pool.clear_quota(class);
+    }
+
+    /// Resident pages of the general pool partition (LRU→MRU), for warm
+    /// hand-off to a freshly provisioned replica.
+    pub fn resident_pages(&self) -> Vec<odlb_storage::PageId> {
+        self.pool.general_resident_pages()
+    }
+
+    /// Warm-up: installs pages without accounting. Provisioning a replica
+    /// includes copying the data and priming its caches (§3.3.2 discusses
+    /// exactly this warm-up cost as part of the re-placement trade-off).
+    pub fn preload(&mut self, pages: impl IntoIterator<Item = odlb_storage::PageId>) {
+        self.pool.preload(pages);
+    }
+
+    /// Direct pool access for table-level experiments (Table 1 uses the
+    /// pool as a trace-driven simulator).
+    pub fn pool(&self) -> &PartitionedPool {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odlb_metrics::{AppId, MetricKind};
+    use odlb_sim::SimDuration;
+    use odlb_storage::{DiskModel, PageId, SpaceId};
+
+    fn class(t: u32) -> ClassId {
+        ClassId::new(AppId(0), t)
+    }
+
+    fn spec(template: u32, pages: Vec<u64>) -> QuerySpec {
+        QuerySpec {
+            class: class(template),
+            pages: pages
+                .into_iter()
+                .map(|n| PageId::new(SpaceId(0), n))
+                .collect(),
+            cpu_base: SimDuration::from_micros(200),
+            cpu_per_page: SimDuration::from_micros(20),
+            is_write: false,
+            lock_prefix: 0,
+        }
+    }
+
+    fn rig() -> (DbEngine, Station, SharedIoPath) {
+        (
+            DbEngine::new(
+                EngineConfig {
+                    // Must comfortably exceed one 64-page read-ahead
+                    // extent plus the tests' working sets.
+                    pool_pages: 256,
+                    readahead_trigger: 8,
+                    window_capacity: 10_000,
+                    logbuf_capacity: 4,
+                },
+                SimTime::ZERO,
+            ),
+            Station::new(4),
+            SharedIoPath::new(DiskModel::default()),
+        )
+    }
+
+    #[test]
+    fn cold_query_pays_io_warm_query_does_not() {
+        let (mut eng, mut cpu, mut io) = rig();
+        let q = spec(1, (0..10).collect());
+        let cold = eng.execute(SimTime::ZERO, &q, &mut cpu, &mut io, DomainId(1));
+        assert_eq!(cold.record.buffer_misses, 10);
+        let warm = eng.execute(cold.completion, &q, &mut cpu, &mut io, DomainId(1));
+        assert_eq!(warm.record.buffer_misses, 0);
+        assert!(
+            warm.record.latency < cold.record.latency,
+            "warm {} >= cold {}",
+            warm.record.latency,
+            cold.record.latency
+        );
+    }
+
+    #[test]
+    fn latency_covers_cpu_and_blocking_io() {
+        let (mut eng, mut cpu, mut io) = rig();
+        let q = spec(1, vec![5]);
+        let r = eng.execute(SimTime::ZERO, &q, &mut cpu, &mut io, DomainId(1));
+        // 1 random read (2.65 ms) dominates CPU (0.22 ms).
+        assert_eq!(r.record.latency, SimDuration::from_micros(2_650));
+    }
+
+    #[test]
+    fn sequential_scan_triggers_readahead() {
+        let (mut eng, mut cpu, mut io) = rig();
+        let q = spec(2, (0..32).collect());
+        let r = eng.execute(SimTime::ZERO, &q, &mut cpu, &mut io, DomainId(1));
+        assert!(r.record.readaheads >= 1, "scan of 32 pages with trigger 8");
+        // Prefetched extent is resident: a follow-up scan into it hits.
+        let q2 = spec(2, (64..80).collect());
+        let r2 = eng.execute(r.completion, &q2, &mut cpu, &mut io, DomainId(1));
+        assert_eq!(r2.record.buffer_misses, 0, "served by prefetch");
+    }
+
+    #[test]
+    fn records_flow_into_interval_reports() {
+        let (mut eng, mut cpu, mut io) = rig();
+        for _ in 0..6 {
+            let q = spec(1, vec![1, 2, 3]);
+            let r = eng.execute(SimTime::ZERO, &q, &mut cpu, &mut io, DomainId(1));
+            eng.commit_record(r.record);
+        }
+        let report = eng.close_interval(SimTime::from_secs(10));
+        let v = report.per_class[&class(1)];
+        assert_eq!(v[MetricKind::PageAccesses], 18.0);
+        assert!((v[MetricKind::Throughput] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_close_flushes_partial_logbuf() {
+        let (mut eng, mut cpu, mut io) = rig();
+        let q = spec(1, vec![1]);
+        let r = eng.execute(SimTime::ZERO, &q, &mut cpu, &mut io, DomainId(1));
+        eng.commit_record(r.record); // 1 record < logbuf capacity 4
+        let report = eng.close_interval(SimTime::from_secs(1));
+        assert_eq!(report.per_class.len(), 1, "partial buffer was flushed");
+    }
+
+    #[test]
+    fn mrc_recompute_reflects_access_window() {
+        let (mut eng, mut cpu, mut io) = rig();
+        // Loop over 16 pages repeatedly.
+        for _ in 0..50 {
+            let q = spec(3, (0..16).collect());
+            eng.execute(SimTime::ZERO, &q, &mut cpu, &mut io, DomainId(1));
+        }
+        let curve = eng.recompute_mrc(class(3), 64).expect("window exists");
+        assert!(curve.miss_ratio(15) > 0.9);
+        assert!(curve.miss_ratio(16) < 0.05);
+        assert!(eng.recompute_mrc(class(99), 64).is_none());
+    }
+
+    #[test]
+    fn quota_round_trip() {
+        let (mut eng, _, _) = rig();
+        eng.set_quota(class(1), 16).unwrap();
+        assert_eq!(eng.quota_of(class(1)), Some(16));
+        assert!(eng.clear_quota(class(1)));
+        assert_eq!(eng.quota_of(class(1)), None);
+    }
+
+    #[test]
+    fn forget_class_clears_state() {
+        let (mut eng, mut cpu, mut io) = rig();
+        let q = spec(1, (0..10).collect());
+        eng.execute(SimTime::ZERO, &q, &mut cpu, &mut io, DomainId(1));
+        eng.set_quota(class(1), 8).unwrap();
+        eng.forget_class(class(1));
+        assert!(eng.recompute_mrc(class(1), 64).is_none());
+        assert_eq!(eng.quota_of(class(1)), None);
+    }
+
+    #[test]
+    fn io_contention_raises_latency_across_domains() {
+        // Two engines (two VM domains) share one I/O path: the second
+        // domain's cold query queues behind the first's.
+        let mut io = SharedIoPath::new(DiskModel::default());
+        let mut cpu1 = Station::new(4);
+        let mut cpu2 = Station::new(4);
+        let mut e1 = DbEngine::new(EngineConfig::default(), SimTime::ZERO);
+        let mut e2 = DbEngine::new(EngineConfig::default(), SimTime::ZERO);
+        let q = spec(1, (0..20).collect());
+        let r1 = e1.execute(SimTime::ZERO, &q, &mut cpu1, &mut io, DomainId(1));
+        let r2 = e2.execute(SimTime::ZERO, &q, &mut cpu2, &mut io, DomainId(2));
+        assert!(
+            r2.record.latency.as_micros() > r1.record.latency.as_micros() * 3 / 2,
+            "domain 2 ({}) should queue behind domain 1 ({})",
+            r2.record.latency,
+            r1.record.latency
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Query template extraction (paper §3.2).
+//!
+//! "Our scheduling unit, a query class, consists of all query instances of
+//! an application with the same query template but different arguments.
+//! The scheduler determines the query templates of each application on the
+//! fly."
+//!
+//! [`normalize_template`] strips argument literals from SQL text (numbers,
+//! quoted strings, IN-lists), so `SELECT * FROM item WHERE i_id = 42` and
+//! `… = 17` normalise identically. [`TemplateRegistry`] assigns each
+//! distinct normalised template a stable per-application index, which is
+//! the `template` component of a [`ClassId`].
+
+use odlb_metrics::{AppId, ClassId};
+use std::collections::HashMap;
+
+/// Replaces literals in SQL-ish text with `?` placeholders and collapses
+/// whitespace, yielding the query's template.
+pub fn normalize_template(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.chars().peekable();
+    let mut last_was_space = false;
+    while let Some(c) = chars.next() {
+        match c {
+            // Quoted string literal (SQL doubles quotes to escape).
+            '\'' => {
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                out.push('?');
+                last_was_space = false;
+            }
+            // Numeric literal — only when it starts a token (identifiers
+            // like `order2` keep their digits).
+            '0'..='9'
+                if !out
+                    .chars()
+                    .last()
+                    .is_some_and(|p| p.is_alphanumeric() || p == '_' || p == '?') =>
+            {
+                while chars
+                    .peek()
+                    .is_some_and(|d| d.is_ascii_digit() || *d == '.')
+                {
+                    chars.next();
+                }
+                out.push('?');
+                last_was_space = false;
+            }
+            c if c.is_whitespace() => {
+                if !last_was_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                last_was_space = true;
+            }
+            c => {
+                out.push(c.to_ascii_uppercase());
+                last_was_space = false;
+            }
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    // Collapse IN-lists of placeholders: (?, ?, ?) -> (?).
+    let mut collapsed = out.replace("? , ?", "?").replace("?, ?", "?").replace("?,?", "?");
+    while collapsed.contains("?, ?") || collapsed.contains("?,?") {
+        collapsed = collapsed.replace("?, ?", "?").replace("?,?", "?");
+    }
+    collapsed
+}
+
+/// Assigns stable per-application template indices on the fly.
+#[derive(Clone, Debug, Default)]
+pub struct TemplateRegistry {
+    by_app: HashMap<AppId, HashMap<String, u32>>,
+}
+
+impl TemplateRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalises `sql` and returns the class id of its template,
+    /// assigning the next free index on first sight.
+    pub fn classify(&mut self, app: AppId, sql: &str) -> ClassId {
+        let template = normalize_template(sql);
+        let per_app = self.by_app.entry(app).or_default();
+        let next = per_app.len() as u32;
+        let idx = *per_app.entry(template).or_insert(next);
+        ClassId::new(app, idx)
+    }
+
+    /// Number of distinct templates seen for `app`.
+    pub fn template_count(&self, app: AppId) -> usize {
+        self.by_app.get(&app).map_or(0, |m| m.len())
+    }
+
+    /// The normalised template text for a class, if known (linear scan —
+    /// reporting only).
+    pub fn template_text(&self, class: ClassId) -> Option<&str> {
+        self.by_app.get(&class.app).and_then(|m| {
+            m.iter()
+                .find(|(_, &idx)| idx == class.template)
+                .map(|(t, _)| t.as_str())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_are_stripped() {
+        assert_eq!(
+            normalize_template("SELECT * FROM item WHERE i_id = 42"),
+            "SELECT * FROM ITEM WHERE I_ID = ?"
+        );
+    }
+
+    #[test]
+    fn strings_are_stripped() {
+        assert_eq!(
+            normalize_template("SELECT * FROM author WHERE a_lname = 'Smith'"),
+            "SELECT * FROM AUTHOR WHERE A_LNAME = ?"
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_inside_strings() {
+        assert_eq!(
+            normalize_template("SELECT 1 FROM t WHERE s = 'O''Brien' AND x = 3"),
+            "SELECT ? FROM T WHERE S = ? AND X = ?"
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_digits() {
+        assert_eq!(
+            normalize_template("SELECT col2 FROM order_line2"),
+            "SELECT COL2 FROM ORDER_LINE2"
+        );
+    }
+
+    #[test]
+    fn whitespace_and_case_are_canonical() {
+        let a = normalize_template("select *  from item\n where i_id=9");
+        let b = normalize_template("SELECT * FROM item WHERE i_id=77");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn in_lists_collapse() {
+        let a = normalize_template("SELECT * FROM t WHERE id IN (1, 2, 3)");
+        let b = normalize_template("SELECT * FROM t WHERE id IN (7)");
+        assert_eq!(a, b, "{a} vs {b}");
+    }
+
+    #[test]
+    fn registry_assigns_stable_indices() {
+        let mut reg = TemplateRegistry::new();
+        let app = AppId(1);
+        let c1 = reg.classify(app, "SELECT * FROM item WHERE i_id = 1");
+        let c2 = reg.classify(app, "SELECT * FROM item WHERE i_id = 2");
+        let c3 = reg.classify(app, "SELECT * FROM customer WHERE c_id = 5");
+        assert_eq!(c1, c2, "same template, same class");
+        assert_ne!(c1, c3);
+        assert_eq!(reg.template_count(app), 2);
+        assert_eq!(
+            reg.template_text(c1),
+            Some("SELECT * FROM ITEM WHERE I_ID = ?")
+        );
+    }
+
+    #[test]
+    fn apps_are_independent() {
+        let mut reg = TemplateRegistry::new();
+        let c1 = reg.classify(AppId(1), "SELECT 1");
+        let c2 = reg.classify(AppId(2), "SELECT 1");
+        assert_eq!(c1.template, c2.template, "both first templates");
+        assert_ne!(c1, c2, "but different apps");
+    }
+}

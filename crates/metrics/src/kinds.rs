@@ -1,0 +1,212 @@
+//! The monitored metric kinds and the fixed-width vector carrying them.
+//!
+//! §3.3: "we track the latency, throughput, buffer pool misses, the number
+//! of page accesses, the I/O block requests, the number of prefetch
+//! (read-ahead) requests … issued by the DBMS on behalf of the queries
+//! belonging to each specific query class."
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// One monitored per-class metric.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MetricKind {
+    /// Mean query latency over the interval (seconds).
+    Latency,
+    /// Completed queries per second over the interval.
+    Throughput,
+    /// Buffer pool misses over the interval.
+    BufferMisses,
+    /// Buffer pool page accesses over the interval.
+    PageAccesses,
+    /// Block read requests issued to the I/O layer over the interval.
+    IoRequests,
+    /// Read-ahead (prefetch) requests issued over the interval.
+    ReadAheads,
+    /// Seconds spent waiting on row/page locks over the interval. Not in
+    /// the paper's §3.3 metric list; added for its §7 future work
+    /// ("outlier detection is a promising approach for narrowing down …
+    /// lock contention or deadlock situations").
+    LockWaits,
+}
+
+/// All metric kinds, in vector order.
+pub const METRIC_KINDS: [MetricKind; 7] = [
+    MetricKind::Latency,
+    MetricKind::Throughput,
+    MetricKind::BufferMisses,
+    MetricKind::PageAccesses,
+    MetricKind::IoRequests,
+    MetricKind::ReadAheads,
+    MetricKind::LockWaits,
+];
+
+impl MetricKind {
+    /// Position in a [`MetricVector`].
+    pub const fn index(self) -> usize {
+        match self {
+            MetricKind::Latency => 0,
+            MetricKind::Throughput => 1,
+            MetricKind::BufferMisses => 2,
+            MetricKind::PageAccesses => 3,
+            MetricKind::IoRequests => 4,
+            MetricKind::ReadAheads => 5,
+            MetricKind::LockWaits => 6,
+        }
+    }
+
+    /// True for the metrics the memory-interference diagnosis inspects
+    /// (§3.3.2: "memory related counters, e.g. miss ratio and page access
+    /// counts" and read-ahead).
+    pub const fn is_memory_related(self) -> bool {
+        matches!(
+            self,
+            MetricKind::BufferMisses | MetricKind::PageAccesses | MetricKind::ReadAheads
+        )
+    }
+
+    /// True for metrics where *larger is worse* (deviation above stable
+    /// indicates trouble). Throughput is the exception: lower is worse.
+    pub const fn higher_is_worse(self) -> bool {
+        !matches!(self, MetricKind::Throughput)
+    }
+
+    /// Short column label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MetricKind::Latency => "latency",
+            MetricKind::Throughput => "throughput",
+            MetricKind::BufferMisses => "misses",
+            MetricKind::PageAccesses => "accesses",
+            MetricKind::IoRequests => "io_reqs",
+            MetricKind::ReadAheads => "readahead",
+            MetricKind::LockWaits => "lock_wait",
+        }
+    }
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A value for every metric kind, in [`METRIC_KINDS`] order.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricVector(pub [f64; 7]);
+
+impl MetricVector {
+    /// An all-zero vector.
+    pub const ZERO: MetricVector = MetricVector([0.0; 7]);
+
+    /// Builds a vector by evaluating `f` for every kind.
+    pub fn from_fn(mut f: impl FnMut(MetricKind) -> f64) -> Self {
+        let mut v = MetricVector::ZERO;
+        for k in METRIC_KINDS {
+            v[k] = f(k);
+        }
+        v
+    }
+
+    /// Iterates `(kind, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MetricKind, f64)> + '_ {
+        METRIC_KINDS.iter().map(move |&k| (k, self[k]))
+    }
+
+    /// Element-wise ratio `self / stable`, the first step of the paper's
+    /// impact computation. A zero stable value with a non-zero current
+    /// value yields `ratio_cap` (a genuinely new behaviour is maximally
+    /// deviant); zero over zero yields 1 (no deviation).
+    pub fn ratio_to(&self, stable: &MetricVector, ratio_cap: f64) -> MetricVector {
+        MetricVector::from_fn(|k| {
+            let cur = self[k];
+            let st = stable[k];
+            if st.abs() < 1e-12 {
+                if cur.abs() < 1e-12 {
+                    1.0
+                } else {
+                    ratio_cap
+                }
+            } else {
+                (cur / st).min(ratio_cap)
+            }
+        })
+    }
+}
+
+impl Index<MetricKind> for MetricVector {
+    type Output = f64;
+    fn index(&self, k: MetricKind) -> &f64 {
+        &self.0[k.index()]
+    }
+}
+
+impl IndexMut<MetricKind> for MetricVector {
+    fn index_mut(&mut self, k: MetricKind) -> &mut f64 {
+        &mut self.0[k.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_are_a_permutation() {
+        let mut seen = [false; 7];
+        for k in METRIC_KINDS {
+            assert!(!seen[k.index()], "duplicate index");
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn memory_related_set_matches_paper() {
+        assert!(MetricKind::BufferMisses.is_memory_related());
+        assert!(MetricKind::PageAccesses.is_memory_related());
+        assert!(MetricKind::ReadAheads.is_memory_related());
+        assert!(!MetricKind::Latency.is_memory_related());
+        assert!(!MetricKind::Throughput.is_memory_related());
+        assert!(!MetricKind::IoRequests.is_memory_related());
+        assert!(!MetricKind::LockWaits.is_memory_related());
+    }
+
+    #[test]
+    fn vector_from_fn_and_index() {
+        let v = MetricVector::from_fn(|k| k.index() as f64);
+        assert_eq!(v[MetricKind::Latency], 0.0);
+        assert_eq!(v[MetricKind::ReadAheads], 5.0);
+        assert_eq!(v[MetricKind::LockWaits], 6.0);
+        assert_eq!(v.iter().count(), 7);
+    }
+
+    #[test]
+    fn ratio_handles_zero_stable_values() {
+        let mut cur = MetricVector::ZERO;
+        let mut stable = MetricVector::ZERO;
+        cur[MetricKind::Latency] = 2.0;
+        stable[MetricKind::Latency] = 1.0;
+        cur[MetricKind::BufferMisses] = 5.0; // stable 0: new behaviour
+        let r = cur.ratio_to(&stable, 100.0);
+        assert_eq!(r[MetricKind::Latency], 2.0);
+        assert_eq!(r[MetricKind::BufferMisses], 100.0);
+        assert_eq!(r[MetricKind::Throughput], 1.0, "0/0 is 'no deviation'");
+    }
+
+    #[test]
+    fn ratio_is_capped() {
+        let mut cur = MetricVector::ZERO;
+        let mut stable = MetricVector::ZERO;
+        cur[MetricKind::Latency] = 1e9;
+        stable[MetricKind::Latency] = 1.0;
+        let r = cur.ratio_to(&stable, 50.0);
+        assert_eq!(r[MetricKind::Latency], 50.0);
+    }
+
+    #[test]
+    fn throughput_direction_is_inverted() {
+        assert!(!MetricKind::Throughput.higher_is_worse());
+        assert!(MetricKind::Latency.higher_is_worse());
+    }
+}

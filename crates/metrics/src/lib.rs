@@ -1,0 +1,40 @@
+//! # odlb-metrics — statistics collection and stable-state signatures (paper §3.3)
+//!
+//! The paper's monitoring layer, reimplemented:
+//!
+//! * [`ids`] — the identity space: applications, query classes (the
+//!   scheduling unit — "all query instances with the same query template
+//!   but different arguments"), and physical servers.
+//! * [`kinds`] — the monitored per-class metrics: latency, throughput,
+//!   buffer pool misses, page accesses, I/O block requests and read-ahead
+//!   (prefetch) requests, carried in a fixed-width [`MetricVector`].
+//! * [`collector`] — per-server, per-class interval accumulators fed by
+//!   the engine's instrumentation; closing a measurement interval yields a
+//!   [`MetricVector`] per class.
+//! * [`signature`] — the *stable state signature*: the per-(server, class)
+//!   average metric vector recorded whenever an application's SLA was
+//!   continuously met during a measurement interval, plus the class's MRC
+//!   parameters.
+//! * [`sla`] — the service level agreement (average query latency bound)
+//!   and its per-interval compliance check.
+//! * [`window`] — the per-class window of recent page accesses kept for
+//!   on-demand MRC recomputation.
+//! * [`logbuf`] — the per-thread private log buffer from the paper's §4
+//!   implementation notes (records are buffered lock-free per worker and
+//!   flushed in batches, so instrumentation does not serialise the engine).
+
+pub mod collector;
+pub mod ids;
+pub mod kinds;
+pub mod logbuf;
+pub mod signature;
+pub mod sla;
+pub mod window;
+
+pub use collector::{ClassStatsCollector, IntervalReport};
+pub use ids::{AppId, ClassId, ServerId};
+pub use kinds::{MetricKind, MetricVector, METRIC_KINDS};
+pub use logbuf::{PrivateLogBuffer, QueryLogRecord};
+pub use signature::{StableStateSignature, StableStateStore};
+pub use sla::{Sla, SlaOutcome};
+pub use window::{AccessWindow, WindowRegistry};

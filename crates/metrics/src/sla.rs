@@ -1,0 +1,109 @@
+//! The service level agreement and its per-interval compliance check.
+//!
+//! §3: "Maintaining query latency under an average query latency bound is
+//! considered the service level agreement (SLA)." §4: "We assume an SLA in
+//! terms of average query latency per server of 1 second for all
+//! applications."
+
+use odlb_sim::SimDuration;
+
+/// An application's SLA: a bound on mean query latency per server per
+/// measurement interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sla {
+    /// Mean latency must stay at or below this bound.
+    pub avg_latency_bound: SimDuration,
+}
+
+impl Sla {
+    /// The paper's experimental setting: 1 s mean latency.
+    pub const fn one_second() -> Self {
+        Sla {
+            avg_latency_bound: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Creates an SLA with the given bound.
+    pub const fn new(avg_latency_bound: SimDuration) -> Self {
+        Sla { avg_latency_bound }
+    }
+
+    /// Evaluates one interval's mean latency (seconds). `None` (no queries
+    /// completed) counts as a violation when there was offered load — the
+    /// caller decides by passing `had_load`; an idle app is vacuously
+    /// stable.
+    pub fn evaluate(&self, mean_latency_secs: Option<f64>, had_load: bool) -> SlaOutcome {
+        match mean_latency_secs {
+            Some(lat) => {
+                if lat <= self.avg_latency_bound.as_secs_f64() {
+                    SlaOutcome::Met
+                } else {
+                    SlaOutcome::Violated
+                }
+            }
+            None => {
+                if had_load {
+                    // Load offered but nothing completed: the most severe
+                    // violation (the system is wedged).
+                    SlaOutcome::Violated
+                } else {
+                    SlaOutcome::Met
+                }
+            }
+        }
+    }
+}
+
+/// The result of one interval's SLA check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlaOutcome {
+    /// "Stable" interval: signatures are refreshed.
+    Met,
+    /// "Unstable" interval: diagnosis is triggered.
+    Violated,
+}
+
+impl SlaOutcome {
+    /// Convenience predicate.
+    pub fn is_violation(self) -> bool {
+        matches!(self, SlaOutcome::Violated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_bound_is_met() {
+        let sla = Sla::one_second();
+        assert_eq!(sla.evaluate(Some(0.6), true), SlaOutcome::Met);
+        assert_eq!(sla.evaluate(Some(1.0), true), SlaOutcome::Met, "inclusive");
+    }
+
+    #[test]
+    fn over_bound_is_violated() {
+        let sla = Sla::one_second();
+        assert_eq!(sla.evaluate(Some(1.01), true), SlaOutcome::Violated);
+        assert!(sla.evaluate(Some(5.4), true).is_violation());
+    }
+
+    #[test]
+    fn idle_app_is_vacuously_stable() {
+        let sla = Sla::one_second();
+        assert_eq!(sla.evaluate(None, false), SlaOutcome::Met);
+    }
+
+    #[test]
+    fn wedged_app_is_violated() {
+        let sla = Sla::one_second();
+        assert_eq!(sla.evaluate(None, true), SlaOutcome::Violated);
+    }
+
+    #[test]
+    fn custom_bound() {
+        let sla = Sla::new(SimDuration::from_millis(200));
+        assert_eq!(sla.evaluate(Some(0.3), true), SlaOutcome::Violated);
+        assert_eq!(sla.evaluate(Some(0.1), true), SlaOutcome::Met);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-class windows of recent page accesses.
+//!
+//! §3.3 tracks "a window of the most recent page accesses issued by the
+//! DBMS on behalf of the queries belonging to each specific query class".
+//! The window is the input to on-demand MRC recomputation: when a class's
+//! memory counters look like outliers, the controller replays the window
+//! through a Mattson tracker to re-derive the class's MRC parameters.
+
+use crate::ids::ClassId;
+use odlb_mrc::{MattsonTracker, MissRatioCurve};
+use odlb_storage::PageId;
+use std::collections::{HashMap, VecDeque};
+
+/// A bounded ring of recent page accesses for one query class.
+#[derive(Clone, Debug)]
+pub struct AccessWindow {
+    pages: VecDeque<PageId>,
+    capacity: usize,
+    /// Total accesses ever observed (including those that fell out).
+    observed: u64,
+}
+
+impl AccessWindow {
+    /// Creates a window retaining the most recent `capacity` accesses.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "window must retain at least one access");
+        AccessWindow {
+            pages: VecDeque::with_capacity(capacity),
+            capacity,
+            observed: 0,
+        }
+    }
+
+    /// Records one page access.
+    pub fn push(&mut self, page: PageId) {
+        if self.pages.len() == self.capacity {
+            self.pages.pop_front();
+        }
+        self.pages.push_back(page);
+        self.observed += 1;
+    }
+
+    /// Accesses currently retained.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total accesses ever observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Iterates retained accesses oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.pages.iter().copied()
+    }
+
+    /// Replays the window through Mattson's algorithm, yielding the
+    /// class's current miss ratio curve tracked up to `cap_pages`.
+    pub fn compute_mrc(&self, cap_pages: usize) -> MissRatioCurve {
+        let mut tracker = MattsonTracker::new(cap_pages);
+        for page in self.iter() {
+            tracker.access(page);
+        }
+        tracker.into_curve()
+    }
+}
+
+/// The per-class window registry for one server's engine.
+#[derive(Clone, Debug)]
+pub struct WindowRegistry {
+    capacity_per_class: usize,
+    windows: HashMap<ClassId, AccessWindow>,
+}
+
+impl WindowRegistry {
+    /// Creates a registry whose windows each retain `capacity_per_class`
+    /// accesses.
+    pub fn new(capacity_per_class: usize) -> Self {
+        WindowRegistry {
+            capacity_per_class,
+            windows: HashMap::new(),
+        }
+    }
+
+    /// Records an access for a class, creating its window on first sight.
+    pub fn push(&mut self, class: ClassId, page: PageId) {
+        self.windows
+            .entry(class)
+            .or_insert_with(|| AccessWindow::new(self.capacity_per_class))
+            .push(page);
+    }
+
+    /// The window for `class`, if it has been seen.
+    pub fn get(&self, class: ClassId) -> Option<&AccessWindow> {
+        self.windows.get(&class)
+    }
+
+    /// Drops a class's window (class re-placed elsewhere).
+    pub fn forget(&mut self, class: ClassId) {
+        self.windows.remove(&class);
+    }
+
+    /// Classes with live windows, sorted.
+    pub fn classes(&self) -> Vec<ClassId> {
+        let mut out: Vec<ClassId> = self.windows.keys().copied().collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AppId;
+    use odlb_storage::SpaceId;
+
+    fn pid(no: u64) -> PageId {
+        PageId::new(SpaceId(0), no)
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut w = AccessWindow::new(3);
+        for i in 0..5 {
+            w.push(pid(i));
+        }
+        let kept: Vec<u64> = w.iter().map(|p| p.page_no).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(w.observed(), 5);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn mrc_from_window_matches_pattern() {
+        // Cyclic access over 8 pages: MRC steps to the floor at 8 pages.
+        let mut w = AccessWindow::new(1000);
+        for i in 0..800u64 {
+            w.push(pid(i % 8));
+        }
+        let curve = w.compute_mrc(64);
+        assert!(curve.miss_ratio(7) > 0.9);
+        assert!(curve.miss_ratio(8) < 0.02);
+    }
+
+    #[test]
+    fn registry_keys_by_class() {
+        let mut reg = WindowRegistry::new(10);
+        let c1 = ClassId::new(AppId(0), 1);
+        let c2 = ClassId::new(AppId(0), 2);
+        reg.push(c1, pid(1));
+        reg.push(c2, pid(2));
+        reg.push(c1, pid(3));
+        assert_eq!(reg.get(c1).unwrap().len(), 2);
+        assert_eq!(reg.get(c2).unwrap().len(), 1);
+        assert_eq!(reg.classes(), vec![c1, c2]);
+        reg.forget(c1);
+        assert!(reg.get(c1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn zero_capacity_rejected() {
+        AccessWindow::new(0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # odlb-mrc — miss ratio curve tracking (paper §2)
+//!
+//! The miss-ratio curve (MRC) of a reference stream gives the page
+//! miss-ratio the stream would experience under an LRU cache of each
+//! possible size. The paper (following Zhou et al., ASPLOS'04) computes it
+//! with **Mattson's stack algorithm**: because LRU has the *inclusion
+//! property* (a cache of `k+1` pages contains the contents of a cache of
+//! `k` pages), a single pass that records each reference's *stack distance*
+//! yields hit counts for every cache size at once:
+//!
+//! ```text
+//!             Σ_{i=1..m} Hit[i]
+//! MR(m) = 1 − ──────────────────────
+//!             Σ_{i=1..n} Hit[i] + Hit[∞]
+//! ```
+//!
+//! Two trackers are provided:
+//!
+//! * [`MattsonTracker`] — exact stack distances in `O(log n)` per access
+//!   (Bender/Olken time-stamp + Fenwick-tree formulation of Mattson).
+//! * [`BucketedTracker`] — a coarser variant that bins distances into
+//!   geometric buckets, trading resolution for memory; used in the
+//!   ablation study (A5).
+//!
+//! From a finished curve, [`MrcParams`] extracts the two quantities the
+//! paper's controller uses per query class (§3.3): *total memory needed*
+//! (smallest size reaching the ideal miss ratio, capped at server memory)
+//! and *acceptable memory needed* (smallest size whose miss ratio is within
+//! a threshold of ideal).
+//!
+//! [`solver`] implements the controller's quota search: can every class on
+//! a server be given a quota at which the MRC predicts its acceptable miss
+//! ratio, within the server's total memory?
+
+pub mod bucketed;
+pub mod curve;
+pub mod mattson;
+pub mod solver;
+
+pub use bucketed::BucketedTracker;
+pub use curve::{MissRatioCurve, MrcParams};
+pub use mattson::MattsonTracker;
+pub use solver::{fit_quotas, greedy_allocate, QuotaRequest};

@@ -1,0 +1,215 @@
+//! Quota search over multiple miss ratio curves (paper §3.3.2).
+//!
+//! After the MRC of every suspect class on a server has been recomputed,
+//! the controller asks: *can each class be given a buffer-pool quota at
+//! which its predicted miss ratio is its acceptable miss ratio, without
+//! exceeding the server's memory?* If yes, quotas are enforced and the
+//! class keeps its placement; if no, the problem class is re-placed on
+//! another replica.
+//!
+//! [`fit_quotas`] implements exactly that feasibility test. For the
+//! ablation on smarter allocation, [`greedy_allocate`] water-fills memory
+//! by marginal hit-rate gain (the classic MRC-driven allocation of Zhou et
+//! al.), which the controller can use to squeeze infeasible sets.
+
+use crate::curve::MissRatioCurve;
+
+/// One class's demand, as seen by the solver.
+#[derive(Clone, Debug)]
+pub struct QuotaRequest<'a> {
+    /// Opaque identity echoed back in results (e.g. a class id).
+    pub id: u64,
+    /// The class's recomputed miss ratio curve.
+    pub curve: &'a MissRatioCurve,
+    /// Pages at which the curve reaches its acceptable miss ratio.
+    pub acceptable_pages: usize,
+    /// Accesses per second — weights marginal-gain comparisons in the
+    /// greedy allocator.
+    pub access_rate: f64,
+}
+
+/// A quota assignment produced by the solver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuotaAssignment {
+    /// Identity from the request.
+    pub id: u64,
+    /// Pages granted.
+    pub pages: usize,
+    /// Predicted miss ratio at the granted quota.
+    pub predicted_miss_ratio: f64,
+}
+
+/// Feasibility test: grant each class its acceptable memory. Returns the
+/// assignments when the total fits in `total_pages`, or `None` when the
+/// set cannot be co-located at acceptable quality (→ re-place someone).
+pub fn fit_quotas(total_pages: usize, requests: &[QuotaRequest<'_>]) -> Option<Vec<QuotaAssignment>> {
+    let demand: usize = requests.iter().map(|r| r.acceptable_pages).sum();
+    if demand > total_pages {
+        return None;
+    }
+    Some(
+        requests
+            .iter()
+            .map(|r| QuotaAssignment {
+                id: r.id,
+                pages: r.acceptable_pages,
+                predicted_miss_ratio: r.curve.miss_ratio(r.acceptable_pages),
+            })
+            .collect(),
+    )
+}
+
+/// Greedy MRC-driven water-fill: repeatedly grants `chunk_pages` to the
+/// class with the highest marginal hit-rate gain (weighted by access rate)
+/// until `total_pages` are spent or no class gains anything.
+///
+/// Unlike [`fit_quotas`] this always returns an allocation; callers check
+/// whether the predicted miss ratios meet their targets.
+pub fn greedy_allocate(
+    total_pages: usize,
+    chunk_pages: usize,
+    requests: &[QuotaRequest<'_>],
+) -> Vec<QuotaAssignment> {
+    assert!(chunk_pages >= 1, "chunk must be at least one page");
+    let mut granted = vec![0usize; requests.len()];
+    let mut remaining = total_pages;
+    while remaining >= chunk_pages {
+        // Marginal gain of giving one more chunk to class i. Real MRCs
+        // have flat regions (step curves for pure working sets), so the
+        // lookahead extends to the class's acceptable point: the gain of a
+        // chunk on the way to `acceptable_pages` is the *average* gain per
+        // page over that stretch, not the (possibly zero) local slope.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, r) in requests.iter().enumerate() {
+            let g = granted[i];
+            let target = if g < r.acceptable_pages {
+                r.acceptable_pages
+            } else {
+                g + chunk_pages
+            };
+            let cur = r.curve.miss_ratio(g);
+            let at_target = r.curve.miss_ratio(target);
+            let per_page = (cur - at_target) / (target - g).max(1) as f64;
+            let gain = per_page * r.access_rate.max(1e-12);
+            if gain > 1e-15 && best.is_none_or(|(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                granted[i] += chunk_pages;
+                remaining -= chunk_pages;
+            }
+            None => break,
+        }
+    }
+    requests
+        .iter()
+        .zip(&granted)
+        .map(|(r, &pages)| QuotaAssignment {
+            id: r.id,
+            pages,
+            predicted_miss_ratio: r.curve.miss_ratio(pages),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A curve whose re-accesses all land at distance `ws` — a working set
+    /// of exactly `ws` pages.
+    fn working_set_curve(ws: u64, accesses: u64, cap: usize) -> MissRatioCurve {
+        let mut c = MissRatioCurve::new(cap);
+        for _ in 0..accesses {
+            c.record_hit_at(ws);
+        }
+        c
+    }
+
+    #[test]
+    fn fit_succeeds_when_demands_fit() {
+        let a = working_set_curve(100, 1000, 8192);
+        let b = working_set_curve(200, 1000, 8192);
+        let reqs = vec![
+            QuotaRequest { id: 1, curve: &a, acceptable_pages: 100, access_rate: 1.0 },
+            QuotaRequest { id: 2, curve: &b, acceptable_pages: 200, access_rate: 1.0 },
+        ];
+        let fit = fit_quotas(8192, &reqs).expect("300 pages fit in 8192");
+        assert_eq!(fit[0].pages, 100);
+        assert_eq!(fit[1].pages, 200);
+        assert!(fit[0].predicted_miss_ratio < 1e-9);
+    }
+
+    #[test]
+    fn fit_fails_when_oversubscribed() {
+        // The paper's Table 2 situation: BestSeller needs 6982 pages,
+        // SearchItemsByRegion needs 7906 — they cannot share 8192.
+        let a = working_set_curve(6982, 1000, 8192);
+        let b = working_set_curve(7906, 1000, 8192);
+        let reqs = vec![
+            QuotaRequest { id: 1, curve: &a, acceptable_pages: 6982, access_rate: 1.0 },
+            QuotaRequest { id: 2, curve: &b, acceptable_pages: 7906, access_rate: 1.0 },
+        ];
+        assert!(fit_quotas(8192, &reqs).is_none());
+    }
+
+    #[test]
+    fn fit_exact_boundary() {
+        let a = working_set_curve(4096, 10, 8192);
+        let reqs = vec![
+            QuotaRequest { id: 1, curve: &a, acceptable_pages: 4096, access_rate: 1.0 },
+            QuotaRequest { id: 2, curve: &a, acceptable_pages: 4096, access_rate: 1.0 },
+        ];
+        assert!(fit_quotas(8192, &reqs).is_some(), "exactly full is feasible");
+    }
+
+    #[test]
+    fn greedy_prefers_hot_class() {
+        let hot = working_set_curve(100, 10_000, 1024);
+        let cold = working_set_curve(100, 10, 1024);
+        let reqs = vec![
+            QuotaRequest { id: 1, curve: &hot, acceptable_pages: 100, access_rate: 1000.0 },
+            QuotaRequest { id: 2, curve: &cold, acceptable_pages: 100, access_rate: 1.0 },
+        ];
+        // Only 100 pages to give: the hot class must win them.
+        let alloc = greedy_allocate(100, 10, &reqs);
+        assert_eq!(alloc[0].pages, 100);
+        assert_eq!(alloc[1].pages, 0);
+    }
+
+    #[test]
+    fn greedy_stops_when_no_gain() {
+        let a = working_set_curve(50, 100, 1024);
+        let reqs = vec![QuotaRequest {
+            id: 1,
+            curve: &a,
+            acceptable_pages: 50,
+            access_rate: 1.0,
+        }];
+        let alloc = greedy_allocate(1024, 10, &reqs);
+        // The curve flattens at 50 pages; greedy must not burn the rest.
+        assert!(alloc[0].pages <= 60, "granted {}", alloc[0].pages);
+        assert!(alloc[0].predicted_miss_ratio < 1e-9 + 1.0 / 100.0 + 1e-12);
+    }
+
+    #[test]
+    fn greedy_never_exceeds_total() {
+        let a = working_set_curve(500, 100, 1024);
+        let b = working_set_curve(700, 100, 1024);
+        let reqs = vec![
+            QuotaRequest { id: 1, curve: &a, acceptable_pages: 500, access_rate: 1.0 },
+            QuotaRequest { id: 2, curve: &b, acceptable_pages: 700, access_rate: 1.0 },
+        ];
+        let alloc = greedy_allocate(600, 64, &reqs);
+        let total: usize = alloc.iter().map(|q| q.pages).sum();
+        assert!(total <= 600);
+    }
+
+    #[test]
+    fn empty_request_set_fits_trivially() {
+        assert_eq!(fit_quotas(100, &[]), Some(vec![]));
+        assert!(greedy_allocate(100, 10, &[]).is_empty());
+    }
+}

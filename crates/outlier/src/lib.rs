@@ -1,0 +1,31 @@
+//! # odlb-outlier — outlier context detection (paper §3.3.1)
+//!
+//! Upon an application-level SLA violation, the paper pinpoints the
+//! fine-grained query contexts most affected by (or causing) the problem:
+//!
+//! 1. Divide each class's current measured metrics by its last recorded
+//!    stable values → deviation ratios.
+//! 2. Multiply by the class's *weight* for the metric (its magnitude
+//!    normalised to the least magnitude across classes) → the *metric
+//!    impact value*. Weighting makes a moderate deviation on a heavyweight
+//!    query as visible as a wild deviation on a light one — the two cases
+//!    the paper's hypothesis names.
+//! 3. Per metric, compute Q1, Q3 and IQR over all classes' impacts. Values
+//!    outside the *inner fence* `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` are **mild
+//!    outliers**; outside the *outer fence* (3·IQR) are **extreme**.
+//! 4. Query contexts containing outlier impacts are *outlier contexts*;
+//!    those whose outliers are in memory-related counters become the
+//!    *problem classes* handed to MRC-based memory diagnosis.
+//!
+//! [`detect()`] implements the full pipeline; [`quartiles()`] the order
+//! statistics; [`top_k_heavyweight`] the paper's fallback when no outlier
+//! stands out.
+
+pub mod detect;
+pub mod quartiles;
+
+pub use detect::{
+    detect, top_k_heavyweight, Direction, OutlierConfig, OutlierFinding, OutlierReport,
+    Severity, Weighting,
+};
+pub use quartiles::{quartiles, Fences, Quartiles};

@@ -1,0 +1,31 @@
+//! # odlb-storage — disk model, shared I/O paths, read-ahead
+//!
+//! The storage substrate under the simulated database engines. It provides:
+//!
+//! * [`PageId`] / [`SpaceId`] — page addressing shared with the buffer pool.
+//! * [`DiskModel`] — a parametric service-time model (seek + rotation +
+//!   per-page transfer, with a sequential-access discount) for a single
+//!   spindle.
+//! * [`Disk`] — a [`DiskModel`] attached to a FCFS queueing station;
+//!   submitting requests yields exact FCFS completion times, so I/O wait
+//!   grows when tenants contend for the spindle.
+//! * [`SharedIoPath`] — the Xen *domain-0* abstraction: several VM domains
+//!   funnel their I/O through one back-end disk with per-domain accounting.
+//!   This is the mechanism behind the paper's Table 3 (two RUBiS instances
+//!   in two domains collapse each other's throughput through domain-0).
+//! * [`ReadAheadDetector`] — InnoDB-style linear read-ahead: when a query
+//!   class touches enough sequentially increasing pages inside one extent,
+//!   the next extent is prefetched. The paper monitors the *number of
+//!   read-ahead requests* per query class as one of its outlier metrics
+//!   (Fig. 4(d)): a query that degenerates into large scans shows a sharp
+//!   read-ahead spike.
+
+pub mod disk;
+pub mod page;
+pub mod readahead;
+pub mod shared;
+
+pub use disk::{Disk, DiskModel, IoKind};
+pub use page::{PageId, SpaceId};
+pub use readahead::{ReadAheadDetector, EXTENT_PAGES};
+pub use shared::{DomainId, SharedIoPath};

@@ -1,0 +1,43 @@
+//! # odlb-workload — the TPC-W and RUBiS workload models
+//!
+//! The paper evaluates on two industry-standard dynamic-content benchmarks:
+//! TPC-W (an on-line bookstore; shopping mix, 20% writes, ~4 GB database)
+//! and RUBiS (an eBay-style auction site; bidding mix, 15% writes). Neither
+//! benchmark kit nor its MySQL schema is usable here, so this crate models
+//! them at the level the paper's mechanisms observe: *per-query-class page
+//! access patterns over the tables each interaction touches*, plus the
+//! transaction mix, CPU demands and write flags.
+//!
+//! What matters for reproducing the evaluation is the **relative footprint
+//! and locality structure across classes** — BestSeller's ~7k-page working
+//! set (Fig. 5), its degeneration into a scan when the `O_DATE` index is
+//! dropped (Fig. 4, Table 1), SearchItemsByRegion's dominant footprint and
+//! I/O share (Fig. 6, Tables 2–3) — all of which are explicit, calibrated
+//! parameters of the models here.
+//!
+//! * [`pattern`] — reusable page-access-pattern generators (Zipf lookups,
+//!   recency-skewed range scans, sequential scans, hot sets, composites).
+//! * [`spec`] — a workload = an application + a weighted list of query
+//!   class specs; sampling yields executable
+//!   [`QuerySpec`](odlb_engine::QuerySpec)s.
+//! * [`tpcw`] — the 14-class TPC-W shopping-mix model with the
+//!   `O_DATE`-index knob.
+//! * [`rubis`] — the 11-class RUBiS bidding-mix model.
+//! * [`synthetic`] — single-resource workloads for controlled scenarios
+//!   (pure CPU-bound, pure I/O-bound).
+//! * [`load`] — offered-load functions (constant, step, the paper's
+//!   sinusoid with noise).
+//! * [`client`] — the closed-loop client session emulator.
+
+pub mod client;
+pub mod load;
+pub mod pattern;
+pub mod rubis;
+pub mod spec;
+pub mod synthetic;
+pub mod tpcw;
+
+pub use client::{ClientConfig, ClientPool};
+pub use load::LoadFunction;
+pub use pattern::AccessPattern;
+pub use spec::{QueryClassSpec, WorkloadSpec};

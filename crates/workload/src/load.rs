@@ -1,0 +1,118 @@
+//! Offered-load functions.
+//!
+//! §5.2: "We use our TPC-W client emulator to emulate a sinusoid load
+//! function … in terms of the number of clients presented to the web
+//! server. In addition, the emulator adds some random noise on top of the
+//! load function."
+
+use odlb_sim::{SimRng, SimTime};
+
+/// Number of concurrently active client sessions as a function of time.
+#[derive(Clone, Debug)]
+pub enum LoadFunction {
+    /// A fixed number of clients.
+    Constant(usize),
+    /// `min + (max-min) · (1 − cos(2πt/period))/2`: starts at `min`,
+    /// peaks at `max` mid-period — the paper's Fig. 3(a) shape.
+    Sinusoid {
+        /// Clients at the trough.
+        min: usize,
+        /// Clients at the crest.
+        max: usize,
+        /// Full oscillation period.
+        period: odlb_sim::SimDuration,
+    },
+    /// `before` clients until `at`, then `after` (workload surge).
+    Step {
+        /// Clients before the step.
+        before: usize,
+        /// Clients at and after the step.
+        after: usize,
+        /// When the step happens.
+        at: SimTime,
+    },
+}
+
+impl LoadFunction {
+    /// Deterministic component of the load at time `t`.
+    pub fn clients_at(&self, t: SimTime) -> usize {
+        match self {
+            LoadFunction::Constant(n) => *n,
+            LoadFunction::Sinusoid { min, max, period } => {
+                let phase = t.as_secs_f64() / period.as_secs_f64();
+                let wave = (1.0 - (2.0 * std::f64::consts::PI * phase).cos()) / 2.0;
+                *min + ((*max - *min) as f64 * wave).round() as usize
+            }
+            LoadFunction::Step { before, after, at } => {
+                if t < *at {
+                    *before
+                } else {
+                    *after
+                }
+            }
+        }
+    }
+
+    /// Load with multiplicative noise of relative magnitude `noise`
+    /// (e.g. 0.1 = ±10%), never below zero.
+    pub fn noisy_clients_at(&self, t: SimTime, noise: f64, rng: &mut SimRng) -> usize {
+        let base = self.clients_at(t) as f64;
+        let jitter = 1.0 + noise * (rng.f64() * 2.0 - 1.0);
+        (base * jitter).round().max(0.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odlb_sim::SimDuration;
+
+    #[test]
+    fn constant_is_constant() {
+        let l = LoadFunction::Constant(42);
+        assert_eq!(l.clients_at(SimTime::ZERO), 42);
+        assert_eq!(l.clients_at(SimTime::from_secs(1000)), 42);
+    }
+
+    #[test]
+    fn sinusoid_starts_low_peaks_midway() {
+        let l = LoadFunction::Sinusoid {
+            min: 20,
+            max: 220,
+            period: SimDuration::from_secs(100),
+        };
+        assert_eq!(l.clients_at(SimTime::ZERO), 20);
+        assert_eq!(l.clients_at(SimTime::from_secs(50)), 220);
+        assert_eq!(l.clients_at(SimTime::from_secs(100)), 20);
+        let quarter = l.clients_at(SimTime::from_secs(25));
+        assert_eq!(quarter, 120, "midpoint of the ramp");
+    }
+
+    #[test]
+    fn step_switches_at_time() {
+        let l = LoadFunction::Step {
+            before: 10,
+            after: 90,
+            at: SimTime::from_secs(60),
+        };
+        assert_eq!(l.clients_at(SimTime::from_secs(59)), 10);
+        assert_eq!(l.clients_at(SimTime::from_secs(60)), 90);
+    }
+
+    #[test]
+    fn noise_stays_within_bounds() {
+        let l = LoadFunction::Constant(100);
+        let mut rng = SimRng::new(5);
+        for _ in 0..1000 {
+            let n = l.noisy_clients_at(SimTime::ZERO, 0.1, &mut rng);
+            assert!((90..=110).contains(&n), "noisy load {n}");
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_exact() {
+        let l = LoadFunction::Constant(50);
+        let mut rng = SimRng::new(5);
+        assert_eq!(l.noisy_clients_at(SimTime::ZERO, 0.0, &mut rng), 50);
+    }
+}

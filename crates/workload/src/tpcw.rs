@@ -1,0 +1,478 @@
+//! The TPC-W model: an on-line bookstore under the shopping mix.
+//!
+//! 14 query classes over the TPC-W schema. The paper's database is ~4 GB
+//! (100K items, 2.8M customers); the model scales page counts down ~6× for
+//! simulation speed while keeping the *relative* footprints, so the pool
+//! (8192 pages = 128 MB) is still much smaller than the database and the
+//! paper's working-set ratios hold:
+//!
+//! * **BestSeller** (class index 8, matching the paper's "#8"): with the
+//!   `O_DATE` index, an index range scan over recent orders plus skewed
+//!   order-line/item lookups — a ~7k-page working set (paper Fig. 5:
+//!   acceptable memory 6982 pages). With the index dropped
+//!   ([`TpcwConfig::odate_index`] = false), the plan degenerates into a
+//!   sequential scan of `ORDER_LINE` — read-ahead storms, pool pollution,
+//!   and a *flatter* MRC whose acceptable memory is smaller (paper: 3695).
+//! * **NewProducts** (class index 9, the paper's "#9"): recency scan over
+//!   the newest items.
+//!
+//! The shopping mix is ~20% writes (TPC-W's "most representative
+//! e-commerce workload").
+
+use crate::pattern::AccessPattern;
+use crate::spec::{QueryClassSpec, WorkloadSpec};
+use odlb_metrics::AppId;
+use odlb_sim::SimDuration;
+
+/// TPC-W tablespaces (distinct from RUBiS's so both can share one engine).
+pub mod spaces {
+    use odlb_storage::SpaceId;
+    /// The `item` table (+ its indexes).
+    pub const ITEM: SpaceId = SpaceId(0);
+    /// The `customer` table.
+    pub const CUSTOMER: SpaceId = SpaceId(1);
+    /// The `orders` table, recency-ordered.
+    pub const ORDERS: SpaceId = SpaceId(2);
+    /// The `order_line` table.
+    pub const ORDER_LINE: SpaceId = SpaceId(3);
+    /// The `author` table.
+    pub const AUTHOR: SpaceId = SpaceId(4);
+    /// The `address` table.
+    pub const ADDRESS: SpaceId = SpaceId(5);
+    /// The `cc_xacts` payment table.
+    pub const CC_XACTS: SpaceId = SpaceId(6);
+    /// The `shopping_cart` tables.
+    pub const CART: SpaceId = SpaceId(7);
+}
+
+/// Table sizes in pages (scaled-down 4 GB database).
+pub mod sizing {
+    /// `item` pages.
+    pub const ITEM_PAGES: u64 = 3_000;
+    /// `customer` pages.
+    pub const CUSTOMER_PAGES: u64 = 6_000;
+    /// `orders` pages.
+    pub const ORDERS_PAGES: u64 = 6_000;
+    /// `order_line` pages.
+    pub const ORDER_LINE_PAGES: u64 = 16_000;
+    /// `author` pages.
+    pub const AUTHOR_PAGES: u64 = 1_000;
+    /// `address` pages.
+    pub const ADDRESS_PAGES: u64 = 2_000;
+    /// `cc_xacts` pages.
+    pub const CC_XACTS_PAGES: u64 = 3_000;
+    /// shopping cart pages.
+    pub const CART_PAGES: u64 = 500;
+}
+
+/// Class index of BestSeller (the paper's query #8).
+pub const BESTSELLER: usize = 8;
+/// Class index of NewProducts (the paper's query #9).
+pub const NEW_PRODUCTS: usize = 9;
+
+/// The three standard TPC-W transaction mixes. The paper uses the
+/// shopping mix ("considered the most representative e-commerce workload
+/// by the TPC"); the others are provided for sensitivity studies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TpcwMix {
+    /// ~5% writes: almost pure browsing.
+    Browsing,
+    /// ~20% writes: the paper's configuration.
+    #[default]
+    Shopping,
+    /// ~50% writes: checkout-dominated.
+    Ordering,
+}
+
+/// TPC-W configuration knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TpcwConfig {
+    /// Application identity in the cluster.
+    pub app: AppId,
+    /// Whether the `O_DATE` index exists (§5.3 drops it to inject a
+    /// localized access-pattern change).
+    pub odate_index: bool,
+    /// Which transaction mix to run.
+    pub mix: TpcwMix,
+}
+
+impl Default for TpcwConfig {
+    fn default() -> Self {
+        TpcwConfig {
+            app: AppId(0),
+            odate_index: true,
+            mix: TpcwMix::Shopping,
+        }
+    }
+}
+
+/// The BestSeller plan: index range scan when the `O_DATE` index exists,
+/// an `ORDER_LINE` sequential scan when it was dropped. Public so the
+/// Fig. 4 harness can swap the plan mid-run.
+pub fn bestseller_pattern(odate_index: bool) -> AccessPattern {
+    use spaces::*;
+    use sizing::*;
+    if odate_index {
+        // Index range scan over recent orders, then order-line and item
+        // lookups for the top sellers: a large but cacheable working set.
+        AccessPattern::Composite(vec![
+            // Calibrated against Fig. 5: acceptable memory ≈ 6850 pages
+            // under a 5% threshold (paper: 6982).
+            AccessPattern::RecencyScan {
+                space: ORDERS,
+                table_pages: ORDERS_PAGES,
+                scan_pages: 450,
+                recency: 1.5,
+                window_pages: 5_000,
+            },
+            AccessPattern::ZipfLookup {
+                space: ORDER_LINE,
+                table_pages: ORDER_LINE_PAGES,
+                exponent: 0.85,
+                count: 180,
+            },
+            AccessPattern::ZipfLookup {
+                space: ITEM,
+                table_pages: ITEM_PAGES,
+                exponent: 1.0,
+                count: 50,
+            },
+        ])
+    } else {
+        // No O_DATE index: the plan falls back to scanning order_line.
+        // Successive executions continue the scan around the whole table
+        // (16k pages ≫ the 8192-page pool) — an LRU-hostile stream whose
+        // per-class MRC is nearly flat (the paper's "longer tail …
+        // flatter curve", quota 3695 ≪ 6982) and whose read-ahead floods
+        // evict everyone else from a shared pool.
+        AccessPattern::Composite(vec![
+            AccessPattern::CyclicScan {
+                space: ORDER_LINE,
+                table_pages: ORDER_LINE_PAGES,
+                scan_pages: 4_000,
+                cursor: std::cell::Cell::new(0),
+            },
+            AccessPattern::ZipfLookup {
+                space: ITEM,
+                table_pages: ITEM_PAGES,
+                exponent: 1.0,
+                count: 50,
+            },
+        ])
+    }
+}
+
+/// Builds the TPC-W workload under the shopping mix.
+pub fn tpcw_workload(config: TpcwConfig) -> WorkloadSpec {
+    use spaces::*;
+    use sizing::*;
+    let us = SimDuration::from_micros;
+    let classes = vec![
+        QueryClassSpec {
+            name: "Home",
+            sql: "SELECT c_fname FROM customer WHERE c_id = 1; SELECT i_id FROM item WHERE i_subject = 'BEST'",
+            weight: 14.0,
+            pattern: AccessPattern::Composite(vec![
+                AccessPattern::HotSet { space: ITEM, hot_pages: 200, count: 4 },
+                AccessPattern::ZipfLookup { space: CUSTOMER, table_pages: CUSTOMER_PAGES, exponent: 1.1, count: 2 },
+            ]),
+            cpu_base: us(300),
+            cpu_per_page: us(15),
+            is_write: false,
+        },
+        QueryClassSpec {
+            name: "ProductDetail",
+            sql: "SELECT * FROM item, author WHERE item.i_a_id = author.a_id AND i_id = 7",
+            weight: 15.0,
+            pattern: AccessPattern::Composite(vec![
+                AccessPattern::ZipfLookup { space: ITEM, table_pages: ITEM_PAGES, exponent: 1.0, count: 3 },
+                AccessPattern::ZipfLookup { space: AUTHOR, table_pages: AUTHOR_PAGES, exponent: 0.9, count: 1 },
+            ]),
+            cpu_base: us(250),
+            cpu_per_page: us(15),
+            is_write: false,
+        },
+        QueryClassSpec {
+            name: "SearchByAuthor",
+            sql: "SELECT * FROM item, author WHERE a_lname = 'X' AND item.i_a_id = author.a_id",
+            weight: 6.0,
+            pattern: AccessPattern::Composite(vec![
+                AccessPattern::ZipfLookup { space: AUTHOR, table_pages: AUTHOR_PAGES, exponent: 0.9, count: 6 },
+                AccessPattern::ZipfLookup { space: ITEM, table_pages: ITEM_PAGES, exponent: 1.0, count: 8 },
+            ]),
+            cpu_base: us(500),
+            cpu_per_page: us(18),
+            is_write: false,
+        },
+        QueryClassSpec {
+            name: "SearchByTitle",
+            sql: "SELECT * FROM item WHERE i_title LIKE 'T%'",
+            weight: 6.0,
+            pattern: AccessPattern::ZipfLookup { space: ITEM, table_pages: ITEM_PAGES, exponent: 0.9, count: 12 },
+            cpu_base: us(500),
+            cpu_per_page: us(18),
+            is_write: false,
+        },
+        QueryClassSpec {
+            name: "SearchBySubject",
+            sql: "SELECT * FROM item WHERE i_subject = 'HISTORY' ORDER BY i_pub_date DESC",
+            weight: 5.0,
+            pattern: AccessPattern::ZipfLookup { space: ITEM, table_pages: ITEM_PAGES, exponent: 0.8, count: 16 },
+            cpu_base: us(550),
+            cpu_per_page: us(18),
+            is_write: false,
+        },
+        QueryClassSpec {
+            name: "ShoppingCart",
+            sql: "UPDATE shopping_cart_line SET scl_qty = 2 WHERE scl_sc_id = 5",
+            weight: 10.0,
+            pattern: AccessPattern::Composite(vec![
+                AccessPattern::HotSet { space: CART, hot_pages: CART_PAGES, count: 3 },
+                AccessPattern::ZipfLookup { space: ITEM, table_pages: ITEM_PAGES, exponent: 1.0, count: 4 },
+            ]),
+            cpu_base: us(350),
+            cpu_per_page: us(15),
+            is_write: true,
+        },
+        QueryClassSpec {
+            name: "CustomerRegistration",
+            sql: "INSERT INTO customer (c_id, c_uname) VALUES (1, 'u')",
+            weight: 2.0,
+            pattern: AccessPattern::UniformLookup { space: CUSTOMER, table_pages: CUSTOMER_PAGES, count: 3 },
+            cpu_base: us(400),
+            cpu_per_page: us(15),
+            is_write: true,
+        },
+        QueryClassSpec {
+            name: "BuyRequest",
+            sql: "SELECT * FROM customer, address WHERE c_id = 3 AND c_addr_id = addr_id",
+            weight: 5.0,
+            pattern: AccessPattern::Composite(vec![
+                AccessPattern::HotSet { space: CART, hot_pages: CART_PAGES, count: 4 },
+                AccessPattern::ZipfLookup { space: CUSTOMER, table_pages: CUSTOMER_PAGES, exponent: 1.0, count: 3 },
+                AccessPattern::ZipfLookup { space: ADDRESS, table_pages: ADDRESS_PAGES, exponent: 1.0, count: 2 },
+            ]),
+            cpu_base: us(400),
+            cpu_per_page: us(15),
+            is_write: true,
+        },
+        QueryClassSpec {
+            name: "BestSeller",
+            sql: "SELECT i_id FROM orders, order_line, item WHERE o_id = ol_o_id AND ol_i_id = i_id AND o_date > 5 GROUP BY i_id ORDER BY COUNT(*) DESC",
+            weight: 4.0,
+            pattern: bestseller_pattern(config.odate_index),
+            cpu_base: us(2_000),
+            cpu_per_page: us(20),
+            is_write: false,
+        },
+        QueryClassSpec {
+            name: "NewProducts",
+            sql: "SELECT * FROM item, author WHERE i_a_id = a_id AND i_subject = 'ART' ORDER BY i_pub_date DESC",
+            weight: 9.0,
+            pattern: AccessPattern::Composite(vec![
+                AccessPattern::RecencyScan {
+                    space: ITEM,
+                    table_pages: ITEM_PAGES,
+                    scan_pages: 150,
+                    recency: 2.0,
+                    window_pages: 600,
+                },
+                AccessPattern::ZipfLookup { space: AUTHOR, table_pages: AUTHOR_PAGES, exponent: 0.9, count: 20 },
+            ]),
+            cpu_base: us(1_000),
+            cpu_per_page: us(18),
+            is_write: false,
+        },
+        QueryClassSpec {
+            name: "OrderInquiry",
+            sql: "SELECT * FROM customer WHERE c_uname = 'u' AND c_passwd = 'p'",
+            weight: 2.0,
+            pattern: AccessPattern::ZipfLookup { space: CUSTOMER, table_pages: CUSTOMER_PAGES, exponent: 1.0, count: 2 },
+            cpu_base: us(250),
+            cpu_per_page: us(15),
+            is_write: false,
+        },
+        QueryClassSpec {
+            name: "OrderDisplay",
+            sql: "SELECT * FROM orders, order_line WHERE o_id = ol_o_id AND o_c_id = 9 ORDER BY o_date DESC",
+            weight: 3.0,
+            pattern: AccessPattern::Composite(vec![
+                AccessPattern::RecencyScan {
+                    space: ORDERS,
+                    table_pages: ORDERS_PAGES,
+                    scan_pages: 20,
+                    recency: 2.0,
+                    window_pages: 1_000,
+                },
+                AccessPattern::UniformLookup { space: ORDER_LINE, table_pages: ORDER_LINE_PAGES, count: 8 },
+            ]),
+            cpu_base: us(450),
+            cpu_per_page: us(15),
+            is_write: false,
+        },
+        QueryClassSpec {
+            name: "AdminUpdate",
+            sql: "UPDATE item SET i_cost = 1, i_image = 'i' WHERE i_id = 2",
+            weight: 2.0,
+            pattern: AccessPattern::ZipfLookup { space: ITEM, table_pages: ITEM_PAGES, exponent: 1.0, count: 3 },
+            cpu_base: us(400),
+            cpu_per_page: us(15),
+            is_write: true,
+        },
+        QueryClassSpec {
+            name: "BuyConfirm",
+            sql: "INSERT INTO cc_xacts (cx_o_id, cx_type) VALUES (4, 'VISA')",
+            weight: 4.0,
+            pattern: AccessPattern::Composite(vec![
+                AccessPattern::HotSet { space: CC_XACTS, hot_pages: 200, count: 3 },
+                AccessPattern::HotSet { space: CART, hot_pages: CART_PAGES, count: 2 },
+            ]),
+            cpu_base: us(500),
+            cpu_per_page: us(15),
+            is_write: true,
+        },
+    ];
+    let mut spec = WorkloadSpec {
+        name: match config.mix {
+            TpcwMix::Browsing => "TPC-W (browsing)".into(),
+            TpcwMix::Shopping => "TPC-W".into(),
+            TpcwMix::Ordering => "TPC-W (ordering)".into(),
+        },
+        app: config.app,
+        classes,
+    };
+    // The class set is identical across mixes; only weights shift.
+    let write_scale = match config.mix {
+        TpcwMix::Browsing => 0.2,
+        TpcwMix::Shopping => 1.0,
+        TpcwMix::Ordering => 4.0,
+    };
+    for class in &mut spec.classes {
+        if class.is_write {
+            class.weight *= write_scale;
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odlb_mrc::MattsonTracker;
+    use odlb_sim::SimRng;
+
+    #[test]
+    fn fourteen_classes_with_paper_numbering() {
+        let w = tpcw_workload(TpcwConfig::default());
+        assert_eq!(w.classes.len(), 14);
+        assert_eq!(w.classes[BESTSELLER].name, "BestSeller");
+        assert_eq!(w.classes[NEW_PRODUCTS].name, "NewProducts");
+    }
+
+    #[test]
+    fn shopping_mix_is_about_twenty_percent_writes() {
+        let w = tpcw_workload(TpcwConfig::default());
+        let frac = w.write_fraction();
+        assert!((0.15..=0.28).contains(&frac), "write fraction {frac}");
+    }
+
+    #[test]
+    fn mixes_order_by_write_fraction() {
+        let frac = |mix| {
+            tpcw_workload(TpcwConfig {
+                mix,
+                ..Default::default()
+            })
+            .write_fraction()
+        };
+        let browsing = frac(TpcwMix::Browsing);
+        let shopping = frac(TpcwMix::Shopping);
+        let ordering = frac(TpcwMix::Ordering);
+        assert!(browsing < shopping && shopping < ordering);
+        assert!(browsing < 0.10, "browsing ~5% writes, got {browsing}");
+        assert!(ordering > 0.40, "ordering ~50% writes, got {ordering}");
+    }
+
+    /// Computes a class's MRC parameters from a synthetic execution trace,
+    /// the way the controller would from its access window.
+    fn class_mrc(w: &WorkloadSpec, idx: usize, queries: usize, cap: usize) -> odlb_mrc::MrcParams {
+        let mut rng = SimRng::new(77);
+        let mut tracker = MattsonTracker::new(cap);
+        for _ in 0..queries {
+            for page in w.query_of_class(idx, &mut rng).pages {
+                tracker.access(page);
+            }
+        }
+        tracker.curve().params(cap, 0.05)
+    }
+
+    #[test]
+    fn bestseller_with_index_has_large_cacheable_working_set() {
+        // Fig. 5: acceptable memory ≈ 6982 pages within an 8192-page pool.
+        let w = tpcw_workload(TpcwConfig::default());
+        let params = class_mrc(&w, BESTSELLER, 60, 8192);
+        assert!(
+            (4_500..=8_192).contains(&params.acceptable_memory_needed),
+            "acceptable {} should be large but under the pool size",
+            params.acceptable_memory_needed
+        );
+        assert!(
+            params.acceptable_miss_ratio < 0.35,
+            "cacheable: acceptable miss ratio {}",
+            params.acceptable_miss_ratio
+        );
+    }
+
+    #[test]
+    fn bestseller_without_index_has_flatter_mrc() {
+        // §5.3: "The new BestSeller query class has a flatter MRC curve,
+        // and thus the memory quota that it needs to meet its acceptable
+        // miss ratios is [smaller] than the original."
+        let with = class_mrc(&tpcw_workload(TpcwConfig::default()), BESTSELLER, 60, 8192);
+        let without = class_mrc(
+            &tpcw_workload(TpcwConfig {
+                odate_index: false,
+                ..Default::default()
+            }),
+            BESTSELLER,
+            60,
+            8192,
+        );
+        assert!(
+            without.acceptable_memory_needed < with.acceptable_memory_needed,
+            "no-index acceptable {} must be below indexed {}",
+            without.acceptable_memory_needed,
+            with.acceptable_memory_needed
+        );
+    }
+
+    #[test]
+    fn dropping_index_multiplies_pages_per_query() {
+        let with = tpcw_workload(TpcwConfig::default()).classes[BESTSELLER]
+            .pattern
+            .pages_per_query();
+        let without = tpcw_workload(TpcwConfig {
+            odate_index: false,
+            ..Default::default()
+        })
+        .classes[BESTSELLER]
+            .pattern
+            .pages_per_query();
+        assert!(without > with * 5, "scan blow-up: {with} -> {without}");
+    }
+
+    #[test]
+    fn non_bestseller_classes_are_light() {
+        let w = tpcw_workload(TpcwConfig::default());
+        for (i, c) in w.classes.iter().enumerate() {
+            if i != BESTSELLER && i != NEW_PRODUCTS {
+                assert!(
+                    c.pattern.pages_per_query() <= 50,
+                    "{} touches {} pages",
+                    c.name,
+                    c.pattern.pages_per_query()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! A localized plan change: dropping the index behind one query (the
+//! paper's §5.3 scenario). Watch the pipeline end to end: stable state →
+//! SLA violation → IQR outlier detection → per-class MRC recomputation →
+//! buffer-pool quota for the one guilty class.
+//!
+//! ```text
+//! cargo run --release --example index_misconfiguration
+//! ```
+
+use odlb::cluster::{Simulation, SimulationConfig};
+use odlb::core::{Action, ClusterController, ControllerConfig, SelectiveRetuningController};
+use odlb::engine::EngineConfig;
+use odlb::metrics::Sla;
+use odlb::storage::DomainId;
+use odlb::workload::tpcw::{bestseller_pattern, tpcw_workload, TpcwConfig, BESTSELLER};
+use odlb::workload::{ClientConfig, LoadFunction};
+
+fn main() {
+    let mut sim = Simulation::new(SimulationConfig {
+        seed: 7,
+        ..Default::default()
+    });
+    let server = sim.add_server(4);
+    let instance = sim.add_instance(server, DomainId(1), EngineConfig::default());
+    let app = sim.add_app(
+        tpcw_workload(TpcwConfig::default()),
+        Sla::one_second(),
+        ClientConfig::default(),
+        LoadFunction::Constant(50),
+    );
+    sim.assign_replica(app, instance);
+    sim.start();
+    let mut controller = SelectiveRetuningController::new(ControllerConfig::default());
+
+    println!("— phase 1: reaching stable state —");
+    for _ in 0..10 {
+        let outcome = sim.run_interval();
+        controller.on_interval(&mut sim, &outcome);
+        if let Some(lat) = outcome.app_latency[&app] {
+            println!("  t={} latency {lat:.3}s", outcome.end);
+        }
+    }
+
+    println!("\n— phase 2: DROP INDEX o_date (BestSeller degenerates into a scan) —");
+    sim.set_class_pattern(app, BESTSELLER, bestseller_pattern(false));
+
+    for _ in 0..10 {
+        let outcome = sim.run_interval();
+        let violated = outcome.sla[&app].is_violation();
+        if let Some(lat) = outcome.app_latency[&app] {
+            println!(
+                "  t={} latency {lat:.3}s {}",
+                outcome.end,
+                if violated { "SLA VIOLATION" } else { "" }
+            );
+        }
+        for action in controller.on_interval(&mut sim, &outcome) {
+            match &action {
+                Action::DetectedOutliers { contexts, .. } => {
+                    println!("    diagnosis: outlier contexts {contexts:?}");
+                }
+                Action::RecomputedMrc {
+                    class,
+                    acceptable_pages,
+                    changed,
+                    ..
+                } => {
+                    println!(
+                        "    diagnosis: MRC of {class} -> acceptable {acceptable_pages} pages{}",
+                        if *changed { " (plan changed!)" } else { "" }
+                    );
+                }
+                other => println!("    action: {other}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Server consolidation gone wrong: two applications multiplexed into one
+//! DBMS and one buffer pool (the paper's §5.4 / Table 2 scenario). The
+//! controller discovers that exactly one RUBiS query class cannot
+//! co-locate with TPC-W and moves just that class to another replica —
+//! instead of migrating a whole VM.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant_consolidation
+//! ```
+
+use odlb::cluster::{Simulation, SimulationConfig};
+use odlb::core::{Action, ClusterController, ControllerConfig, SelectiveRetuningController};
+use odlb::engine::EngineConfig;
+use odlb::metrics::{AppId, Sla};
+use odlb::sim::SimTime;
+use odlb::storage::DomainId;
+use odlb::workload::rubis::{rubis_workload, RubisConfig};
+use odlb::workload::tpcw::{tpcw_workload, TpcwConfig};
+use odlb::workload::{ClientConfig, LoadFunction};
+
+fn main() {
+    let mut sim = Simulation::new(SimulationConfig {
+        seed: 22,
+        ..Default::default()
+    });
+    let shared_server = sim.add_server(4);
+    sim.add_server(4); // the free pool the controller can draw from
+    let shared_instance = sim.add_instance(shared_server, DomainId(1), EngineConfig::default());
+
+    let tpcw = sim.add_app(
+        tpcw_workload(TpcwConfig::default()),
+        Sla::one_second(),
+        ClientConfig::default(),
+        LoadFunction::Constant(45),
+    );
+    // RUBiS powers on at t = 100 s, consolidated into the SAME instance.
+    let rubis = sim.add_app(
+        rubis_workload(RubisConfig {
+            app: AppId(1),
+            ..Default::default()
+        }),
+        Sla::one_second(),
+        ClientConfig::default(),
+        LoadFunction::Step {
+            before: 0,
+            after: 80,
+            at: SimTime::from_secs(100),
+        },
+    );
+    sim.assign_replica(tpcw, shared_instance);
+    sim.assign_replica(rubis, shared_instance);
+    sim.start();
+
+    let mut controller = SelectiveRetuningController::new(ControllerConfig::default());
+    println!("time     tpcw-latency  rubis-latency  actions");
+    for _ in 0..26 {
+        let outcome = sim.run_interval();
+        let fmt = |app: AppId| {
+            outcome.app_latency[&app]
+                .map(|l| format!("{l:.2}s"))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:>6}  {:>12}  {:>13}",
+            outcome.end.to_string(),
+            fmt(tpcw),
+            fmt(rubis)
+        );
+        for action in controller.on_interval(&mut sim, &outcome) {
+            if !matches!(action, Action::DetectedOutliers { .. }) {
+                println!("        -> {action}");
+            }
+        }
+    }
+    println!(
+        "\nfinal TPC-W replicas: {:?}; RUBiS replicas: {:?}",
+        sim.replicas_of(tpcw),
+        sim.replicas_of(rubis)
+    );
+}

@@ -1,0 +1,19 @@
+//! # odlb — outlier detection for fine-grained load balancing in database clusters
+//!
+//! Facade crate re-exporting the whole workspace API. Reproduction of
+//! Chen, Soundararajan, Mihailescu & Amza, *"Outlier Detection for
+//! Fine-grained Load Balancing in Database Clusters"* (ICDE 2007).
+//!
+//! Start with [`core`] (the selective-retuning controller — the paper's
+//! contribution), or see the `examples/` directory for runnable scenarios.
+
+pub use odlb_bufferpool as bufferpool;
+pub use odlb_cluster as cluster;
+pub use odlb_core as core;
+pub use odlb_engine as engine;
+pub use odlb_metrics as metrics;
+pub use odlb_mrc as mrc;
+pub use odlb_outlier as outlier;
+pub use odlb_sim as sim;
+pub use odlb_storage as storage;
+pub use odlb_workload as workload;

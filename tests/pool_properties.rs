@@ -1,0 +1,132 @@
+//! Property tests for the partitioned buffer pool: the capacity invariant
+//! must hold under arbitrary interleavings of quota grants, clears,
+//! accesses and prefetches, and accounting must always reconcile.
+
+use odlb::bufferpool::{PartitionedPool, QuotaError};
+use odlb::metrics::{AppId, ClassId};
+use odlb::storage::{PageId, SpaceId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Access { class: u32, page: u64 },
+    Prefetch { class: u32, start: u64, len: u64 },
+    SetQuota { class: u32, pages: usize },
+    ClearQuota { class: u32 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            6 => (0u32..6, 0u64..2_000).prop_map(|(class, page)| Op::Access { class, page }),
+            2 => (0u32..6, 0u64..2_000, 1u64..64)
+                .prop_map(|(class, start, len)| Op::Prefetch { class, start, len }),
+            1 => (0u32..6, 1usize..600).prop_map(|(class, pages)| Op::SetQuota { class, pages }),
+            1 => (0u32..6).prop_map(|class| Op::ClearQuota { class }),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #[test]
+    fn capacity_invariant_under_arbitrary_ops(ops in ops()) {
+        let mut pool = PartitionedPool::new(1024);
+        let cid = |t: u32| ClassId::new(AppId(0), t);
+        for op in ops {
+            match op {
+                Op::Access { class, page } => {
+                    pool.access(cid(class), PageId::new(SpaceId(0), page));
+                }
+                Op::Prefetch { class, start, len } => {
+                    pool.prefetch(
+                        cid(class),
+                        (start..start + len).map(|p| PageId::new(SpaceId(0), p)),
+                    );
+                }
+                Op::SetQuota { class, pages } => {
+                    match pool.set_quota(cid(class), pages) {
+                        Ok(()) => {}
+                        Err(QuotaError::AlreadyQuotaed)
+                        | Err(QuotaError::InsufficientGeneral { .. })
+                        | Err(QuotaError::ZeroQuota) => {}
+                    }
+                }
+                Op::ClearQuota { class } => {
+                    pool.clear_quota(cid(class));
+                }
+            }
+            prop_assert!(pool.capacity_invariant_holds());
+            prop_assert_eq!(pool.total_pages(), 1024);
+            prop_assert!(pool.general_pages() >= 1, "general partition never vanishes");
+        }
+    }
+
+    #[test]
+    fn counters_reconcile(ops in ops()) {
+        let mut pool = PartitionedPool::new(512);
+        let cid = |t: u32| ClassId::new(AppId(0), t);
+        let mut expected_accesses = [0u64; 6];
+        for op in &ops {
+            match *op {
+                Op::Access { class, page } => {
+                    pool.access(cid(class), PageId::new(SpaceId(0), page));
+                    expected_accesses[class as usize] += 1;
+                }
+                Op::SetQuota { class, pages } => {
+                    // A new quota creates a fresh partition: its counters
+                    // restart. Track that by resetting expectations.
+                    if pool.set_quota(cid(class), pages).is_ok() {
+                        expected_accesses[class as usize] = 0;
+                    }
+                }
+                Op::ClearQuota { class } => {
+                    if pool.clear_quota(cid(class)) {
+                        expected_accesses[class as usize] = 0;
+                    }
+                }
+                Op::Prefetch { .. } => {}
+            }
+        }
+        for t in 0..6u32 {
+            let c = pool.class_counters(cid(t));
+            prop_assert_eq!(
+                c.accesses, expected_accesses[t as usize],
+                "class {} accesses", t
+            );
+            prop_assert_eq!(c.hits + c.misses, c.accesses, "hits+misses=accesses");
+        }
+    }
+
+    /// A class with a quota can never consume more distinct resident
+    /// pages than its quota.
+    #[test]
+    fn quota_bounds_residency(pages in prop::collection::vec(0u64..10_000, 1..500)) {
+        let mut pool = PartitionedPool::new(1024);
+        let class = ClassId::new(AppId(0), 8);
+        pool.set_quota(class, 64).unwrap();
+        for &p in &pages {
+            pool.access(class, PageId::new(SpaceId(0), p));
+        }
+        // Re-touch the last 64 distinct pages: at most 64 can hit, and
+        // anything beyond the quota must have been evicted.
+        let mut distinct: Vec<u64> = Vec::new();
+        for &p in pages.iter().rev() {
+            if !distinct.contains(&p) {
+                distinct.push(p);
+            }
+        }
+        if distinct.len() > 64 {
+            let victim = distinct[distinct.len() - 1];
+            // The oldest distinct page cannot still be resident unless it
+            // was re-touched into the recent 64.
+            let recent: Vec<u64> = distinct.iter().take(64).copied().collect();
+            if !recent.contains(&victim) {
+                let before = pool.class_counters(class).misses;
+                pool.access(class, PageId::new(SpaceId(0), victim));
+                let after = pool.class_counters(class).misses;
+                prop_assert_eq!(after, before + 1, "evicted page must miss");
+            }
+        }
+    }
+}

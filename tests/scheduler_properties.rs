@@ -1,0 +1,92 @@
+//! Property tests for the scheduler tier's replication invariants.
+
+use odlb::cluster::{InstanceId, Scheduler};
+use odlb::metrics::{AppId, ClassId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Add(u32),
+    Remove(u32),
+    Place { class: u32, targets: Vec<u32> },
+    Unplace(u32),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            2 => (0u32..12).prop_map(Op::Add),
+            1 => (0u32..12).prop_map(Op::Remove),
+            2 => (0u32..8, prop::collection::vec(0u32..12, 0..4))
+                .prop_map(|(class, targets)| Op::Place { class, targets }),
+            1 => (0u32..8).prop_map(Op::Unplace),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    /// After any operation sequence:
+    /// * every class placement is a subset of the live replica set;
+    /// * a write reaches every live replica exactly once;
+    /// * a read goes to a replica in the class's placement.
+    #[test]
+    fn replication_invariants(ops in ops()) {
+        let app = AppId(0);
+        let mut sched = Scheduler::new(app, vec![InstanceId(0)]);
+        for op in ops {
+            match op {
+                Op::Add(i) => sched.add_replica(InstanceId(i)),
+                Op::Remove(i) => sched.remove_replica(InstanceId(i)),
+                Op::Place { class, targets } => sched.place_class(
+                    ClassId::new(app, class),
+                    targets.into_iter().map(InstanceId).collect(),
+                ),
+                Op::Unplace(class) => sched.unplace_class(ClassId::new(app, class)),
+            }
+
+            let replicas: Vec<InstanceId> = sched.replicas().to_vec();
+            for class in sched.pinned_classes() {
+                for inst in sched.placement_of(class) {
+                    prop_assert!(
+                        replicas.contains(inst),
+                        "placement of {class} contains dead {inst}"
+                    );
+                }
+                prop_assert!(!sched.placement_of(class).is_empty());
+            }
+
+            let class = ClassId::new(app, 3);
+            match sched.route_write(class, |i| i.0 as usize % 3) {
+                Some(route) => {
+                    let mut all = route.applies.clone();
+                    all.push(route.primary);
+                    all.sort();
+                    all.dedup();
+                    let mut live = replicas.clone();
+                    live.sort();
+                    prop_assert_eq!(all, live, "write-all must cover the replica set");
+                    prop_assert!(sched.placement_of(class).contains(&route.primary));
+                }
+                None => prop_assert!(replicas.is_empty()),
+            }
+            if let Some(read) = sched.route_read(class, |_| 0) {
+                prop_assert!(sched.placement_of(class).contains(&read));
+            }
+        }
+    }
+
+    /// The read router picks a minimum-load replica from the placement.
+    #[test]
+    fn read_routing_is_least_loaded(
+        loads in prop::collection::vec(0usize..100, 1..10)
+    ) {
+        let app = AppId(0);
+        let replicas: Vec<InstanceId> = (0..loads.len() as u32).map(InstanceId).collect();
+        let sched = Scheduler::new(app, replicas);
+        let class = ClassId::new(app, 0);
+        let chosen = sched.route_read(class, |i| loads[i.0 as usize]).unwrap();
+        let min = loads.iter().min().unwrap();
+        prop_assert_eq!(loads[chosen.0 as usize], *min);
+    }
+}
