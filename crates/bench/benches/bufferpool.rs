@@ -2,7 +2,7 @@
 //! pool vs the partitioned pool (quota routing overhead), and prefetch
 //! installation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use odlb_bench::harness::{black_box, Bench};
 use odlb_bufferpool::{BufferPool, PartitionedPool};
 use odlb_metrics::{AppId, ClassId};
 use odlb_storage::{PageId, SpaceId};
@@ -21,47 +21,34 @@ fn access_trace(n: usize) -> Vec<(ClassId, PageId)> {
         .collect()
 }
 
-fn bench_pools(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_args();
     let trace = access_trace(100_000);
-    let mut group = c.benchmark_group("bufferpool_access");
-    group.throughput(Throughput::Elements(trace.len() as u64));
 
-    group.bench_function("shared_8192", |b| {
-        b.iter(|| {
-            let mut pool = BufferPool::new(8192);
-            for &(class, page) in &trace {
-                black_box(pool.access(class, page));
-            }
-        })
+    bench.bench_elements("bufferpool_access/shared_8192", trace.len() as u64, || {
+        let mut pool = BufferPool::new(8192);
+        for &(class, page) in &trace {
+            black_box(pool.access(class, page));
+        }
     });
 
-    group.bench_function("partitioned_8192_one_quota", |b| {
-        b.iter(|| {
+    bench.bench_elements(
+        "bufferpool_access/partitioned_8192_one_quota",
+        trace.len() as u64,
+        || {
             let mut pool = PartitionedPool::new(8192);
             pool.set_quota(ClassId::new(AppId(0), 8), 2048).unwrap();
             for &(class, page) in &trace {
                 black_box(pool.access(class, page));
             }
-        })
-    });
+        },
+    );
 
-    group.finish();
-}
-
-fn bench_prefetch(c: &mut Criterion) {
-    c.bench_function("prefetch_extent_64", |b| {
-        let mut pool = BufferPool::new(8192);
-        let class = ClassId::new(AppId(0), 8);
-        let mut base = 0u64;
-        b.iter(|| {
-            base += 64;
-            black_box(pool.prefetch(
-                class,
-                (0..64).map(|i| PageId::new(SpaceId(0), base + i)),
-            ))
-        })
+    let mut pool = BufferPool::new(8192);
+    let class = ClassId::new(AppId(0), 8);
+    let mut base = 0u64;
+    bench.bench("prefetch_extent_64", || {
+        base += 64;
+        black_box(pool.prefetch(class, (0..64).map(|i| PageId::new(SpaceId(0), base + i))))
     });
 }
-
-criterion_group!(benches, bench_pools, bench_prefetch);
-criterion_main!(benches);

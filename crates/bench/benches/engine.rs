@@ -1,25 +1,24 @@
 //! End-to-end engine microbenchmark: simulated queries per (wall-clock)
 //! second through `DbEngine::execute`, warm and cold.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use odlb_bench::harness::{black_box, Bench};
 use odlb_engine::{DbEngine, EngineConfig};
 use odlb_sim::{SimRng, SimTime, Station};
 use odlb_storage::{DiskModel, DomainId, SharedIoPath};
 use odlb_workload::tpcw::{tpcw_workload, TpcwConfig};
 
-fn bench_execute(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_args();
     let workload = tpcw_workload(TpcwConfig::default());
     let mut rng = SimRng::new(99);
     let queries: Vec<_> = (0..2_000)
         .map(|_| workload.sample_query(&mut rng))
         .collect();
 
-    let mut group = c.benchmark_group("engine_execute");
-    group.throughput(Throughput::Elements(queries.len() as u64));
-    group.sample_size(20);
-
-    group.bench_function("tpcw_mix_2000_queries", |b| {
-        b.iter(|| {
+    bench.bench_elements(
+        "engine_execute/tpcw_mix_2000_queries",
+        queries.len() as u64,
+        || {
             let mut engine = DbEngine::new(EngineConfig::default(), SimTime::ZERO);
             let mut cpu = Station::new(4);
             let mut io = SharedIoPath::new(DiskModel::default());
@@ -30,10 +29,6 @@ fn bench_execute(c: &mut Criterion) {
                 t += odlb_sim::SimDuration::from_millis(5);
             }
             black_box(engine.close_interval(t).per_class.len())
-        })
-    });
-    group.finish();
+        },
+    );
 }
-
-criterion_group!(benches, bench_execute);
-criterion_main!(benches);

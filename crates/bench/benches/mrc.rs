@@ -2,7 +2,7 @@
 //! formulation), the bucketed approximation, and the naive O(n) stack —
 //! the speed side of ablation A5.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use odlb_bench::harness::{black_box, Bench};
 use odlb_mrc::mattson::NaiveStack;
 use odlb_mrc::{BucketedTracker, MattsonTracker};
 
@@ -24,63 +24,49 @@ fn trace(n: usize, footprint: u64) -> Vec<u64> {
         .collect()
 }
 
-fn bench_trackers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mrc_tracker");
+fn main() {
+    let mut bench = Bench::from_args();
     for &footprint in &[1_000u64, 10_000, 100_000] {
         let t = trace(100_000, footprint);
-        group.throughput(Throughput::Elements(t.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("mattson_exact", footprint),
-            &t,
-            |b, t| {
-                b.iter(|| {
-                    let mut tracker = MattsonTracker::new(16_384);
-                    for &k in t {
-                        tracker.access(black_box(k));
-                    }
-                    black_box(tracker.accesses())
-                })
+        bench.bench_elements(
+            &format!("mrc_tracker/mattson_exact/{footprint}"),
+            t.len() as u64,
+            || {
+                let mut tracker = MattsonTracker::new(16_384);
+                for &k in &t {
+                    tracker.access(black_box(k));
+                }
+                black_box(tracker.accesses())
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("bucketed_1.5", footprint),
-            &t,
-            |b, t| {
-                b.iter(|| {
-                    let mut tracker = BucketedTracker::new(16_384, 1.5);
-                    for &k in t {
-                        tracker.access(black_box(k));
-                    }
-                    black_box(tracker.curve().total_accesses())
-                })
+        bench.bench_elements(
+            &format!("mrc_tracker/bucketed_1.5/{footprint}"),
+            t.len() as u64,
+            || {
+                let mut tracker = BucketedTracker::new(16_384, 1.5);
+                for &k in &t {
+                    tracker.access(black_box(k));
+                }
+                black_box(tracker.curve().total_accesses())
             },
         );
     }
     // The naive stack is quadratic: bench on a small trace only.
     let small = trace(5_000, 1_000);
-    group.throughput(Throughput::Elements(small.len() as u64));
-    group.bench_with_input(BenchmarkId::new("naive_stack", 1_000), &small, |b, t| {
-        b.iter(|| {
-            let mut stack = NaiveStack::new();
-            for &k in t {
-                black_box(stack.access(black_box(k)));
-            }
-        })
+    bench.bench_elements("mrc_tracker/naive_stack/1000", small.len() as u64, || {
+        let mut stack = NaiveStack::new();
+        for &k in &small {
+            black_box(stack.access(black_box(k)));
+        }
     });
-    group.finish();
-}
 
-fn bench_params(c: &mut Criterion) {
     let t = trace(200_000, 50_000);
     let mut tracker = MattsonTracker::new(16_384);
     for &k in &t {
         tracker.access(k);
     }
     let curve = tracker.into_curve();
-    c.bench_function("mrc_params_extraction", |b| {
-        b.iter(|| black_box(curve.params(black_box(16_384), black_box(0.05))))
+    bench.bench("mrc_params_extraction", || {
+        black_box(curve.params(black_box(16_384), black_box(0.05)))
     });
 }
-
-criterion_group!(benches, bench_trackers, bench_params);
-criterion_main!(benches);

@@ -2,12 +2,18 @@
 //! detection across all six metrics as the class population grows. The
 //! paper stresses its technique is "lightweight"; this quantifies it.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use odlb_bench::harness::{black_box, Bench};
 use odlb_metrics::{AppId, ClassId, MetricKind, MetricVector};
 use odlb_outlier::{detect, OutlierConfig};
 use std::collections::BTreeMap;
 
-fn population(n: u32) -> (BTreeMap<ClassId, MetricVector>, BTreeMap<ClassId, MetricVector>) {
+#[allow(clippy::type_complexity)]
+fn population(
+    n: u32,
+) -> (
+    BTreeMap<ClassId, MetricVector>,
+    BTreeMap<ClassId, MetricVector>,
+) {
     let mut current = BTreeMap::new();
     let mut stable = BTreeMap::new();
     for t in 0..n {
@@ -27,21 +33,15 @@ fn population(n: u32) -> (BTreeMap<ClassId, MetricVector>, BTreeMap<ClassId, Met
     (current, stable)
 }
 
-fn bench_detect(c: &mut Criterion) {
-    let mut group = c.benchmark_group("outlier_detect");
+fn main() {
+    let mut bench = Bench::from_args();
     for &n in &[14u32, 50, 200, 1_000] {
         let (current, stable) = population(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let report = detect(&OutlierConfig::default(), black_box(&current), |c| {
-                    stable.get(&c).copied()
-                });
-                black_box(report.outlier_contexts().len())
-            })
+        bench.bench(&format!("outlier_detect/{n}"), || {
+            let report = detect(&OutlierConfig::default(), black_box(&current), |c| {
+                stable.get(&c).copied()
+            });
+            black_box(report.outlier_contexts().len())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_detect);
-criterion_main!(benches);

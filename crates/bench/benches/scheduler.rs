@@ -1,65 +1,38 @@
 //! Microbenchmarks for the scheduler tier: read/write routing and the
 //! on-the-fly query template extraction.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use odlb_bench::harness::{black_box, Bench};
 use odlb_cluster::{InstanceId, Scheduler};
 use odlb_engine::TemplateRegistry;
 use odlb_metrics::{AppId, ClassId};
 
-fn bench_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler_route");
+fn main() {
+    let mut bench = Bench::from_args();
     for &replicas in &[2usize, 8, 32] {
-        let sched = Scheduler::new(
-            AppId(0),
-            (0..replicas as u32).map(InstanceId).collect(),
-        );
+        let sched = Scheduler::new(AppId(0), (0..replicas as u32).map(InstanceId).collect());
         let class = ClassId::new(AppId(0), 3);
-        group.bench_with_input(
-            BenchmarkId::new("read", replicas),
-            &replicas,
-            |b, _| {
-                let mut i = 0u64;
-                b.iter(|| {
-                    i += 1;
-                    black_box(sched.route_read(class, |inst| {
-                        ((inst.0 as u64 * 31 + i) % 7) as usize
-                    }))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("write_all", replicas),
-            &replicas,
-            |b, _| {
-                let mut i = 0u64;
-                b.iter(|| {
-                    i += 1;
-                    black_box(sched.route_write(class, |inst| {
-                        ((inst.0 as u64 * 31 + i) % 7) as usize
-                    }))
-                })
-            },
-        );
+        let mut i = 0u64;
+        bench.bench(&format!("scheduler_route/read/{replicas}"), || {
+            i += 1;
+            black_box(sched.route_read(class, |inst| ((inst.0 as u64 * 31 + i) % 7) as usize))
+        });
+        let mut i = 0u64;
+        bench.bench(&format!("scheduler_route/write_all/{replicas}"), || {
+            i += 1;
+            black_box(sched.route_write(class, |inst| ((inst.0 as u64 * 31 + i) % 7) as usize))
+        });
     }
-    group.finish();
-}
 
-fn bench_templates(c: &mut Criterion) {
     let queries = [
         "SELECT * FROM item WHERE i_id = 42",
         "SELECT i_id, i_title FROM item, orders, order_line WHERE o_id = ol_o_id AND ol_i_id = i_id AND o_date > 873243 GROUP BY i_id ORDER BY COUNT(*) DESC LIMIT 50",
         "UPDATE shopping_cart_line SET scl_qty = 3 WHERE scl_sc_id = 991 AND scl_i_id = 17",
         "SELECT * FROM author WHERE a_lname = 'O''Brien'",
     ];
-    c.bench_function("template_classify", |b| {
-        let mut reg = TemplateRegistry::new();
-        let mut i = 0usize;
-        b.iter(|| {
-            i += 1;
-            black_box(reg.classify(AppId(0), queries[i % queries.len()]))
-        })
+    let mut reg = TemplateRegistry::new();
+    let mut i = 0usize;
+    bench.bench("template_classify", || {
+        i += 1;
+        black_box(reg.classify(AppId(0), queries[i % queries.len()]))
     });
 }
-
-criterion_group!(benches, bench_routing, bench_templates);
-criterion_main!(benches);

@@ -4,12 +4,77 @@
 //! experiments [fig3|fig4|fig5|fig6|table1|table2|table3|
 //!              ablation-fences|ablation-weights|ablation-coarse|
 //!              ablation-mrc-threshold|ablation-mrc-approx|all]
+//!             [--trace <path>]
 //! ```
+//!
+//! The controller-driven figures (fig3, fig4) run with a decision tracer
+//! attached and print their run digest — the 64-bit FNV-1a fold of the
+//! canonical event stream — so two runs can be compared at a glance.
+//! `--trace <path>` additionally writes the full event stream as JSONL
+//! (when both figures run, the figure name is suffixed to the path).
 
 use odlb_bench::experiments::*;
+use odlb_trace::{DigestSink, JsonlSink, Tracer};
+
+/// Builds a tracer for one traced figure: always a digest, plus a JSONL
+/// file when `--trace` was given. Returns the tracer and the digest
+/// handle to read back after the run.
+fn traced(
+    trace_path: Option<&str>,
+    figure: &str,
+    multiple: bool,
+) -> (Tracer, std::rc::Rc<std::cell::RefCell<DigestSink>>) {
+    let tracer = Tracer::new();
+    if let Some(path) = trace_path {
+        let path = if multiple {
+            format!("{path}.{figure}")
+        } else {
+            path.to_string()
+        };
+        match JsonlSink::create(&path) {
+            Ok(sink) => {
+                tracer.attach(sink);
+            }
+            Err(e) => eprintln!("cannot open trace file {path}: {e}"),
+        }
+    }
+    let digest = tracer.attach(DigestSink::new());
+    (tracer, digest)
+}
+
+fn print_digest(figure: &str, digest: &std::cell::RefCell<DigestSink>) {
+    let d = digest.borrow();
+    println!(
+        "{figure} run digest: {:#018x} ({} events)\n",
+        d.digest(),
+        d.events()
+    );
+}
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut arg = String::new();
+    let mut trace_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
+            if i + 1 >= args.len() {
+                eprintln!("--trace requires a path");
+                std::process::exit(2);
+            }
+            trace_path = Some(args[i + 1].clone());
+            i += 2;
+        } else if arg.is_empty() {
+            arg = args[i].clone();
+            i += 1;
+        } else {
+            eprintln!("unexpected argument '{}'", args[i]);
+            std::process::exit(2);
+        }
+    }
+    if arg.is_empty() {
+        arg = "all".to_string();
+    }
     let all = arg == "all";
     let mut ran = false;
 
@@ -31,12 +96,19 @@ fn main() {
     if all || arg == "fig3" {
         ran = true;
         banner("Fig. 3 — CPU saturation under sinusoid load");
-        println!("{}", fig3::render(&fig3::run(64, 14, 50, 450, 4)));
+        let (tracer, digest) = traced(trace_path.as_deref(), "fig3", all);
+        println!(
+            "{}",
+            fig3::render(&fig3::run_with(tracer, 64, 14, 50, 450, 4))
+        );
+        print_digest("fig3", &digest);
     }
     if all || arg == "fig4" {
         ran = true;
         banner("Fig. 4 — dropping the O_DATE index");
-        println!("{}", fig4::render(&fig4::run(50, 12, 15)));
+        let (tracer, digest) = traced(trace_path.as_deref(), "fig4", all);
+        println!("{}", fig4::render(&fig4::run_with(tracer, 50, 12, 15)));
+        print_digest("fig4", &digest);
     }
     if all || arg == "table2" {
         ran = true;

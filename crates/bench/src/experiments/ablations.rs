@@ -98,9 +98,7 @@ pub fn fence_ablation(snapshot: &DetectionSnapshot, multipliers: &[f64]) -> Vec<
             FenceAblationRow {
                 inner,
                 contexts: contexts.len(),
-                flags_bestseller: contexts
-                    .iter()
-                    .any(|c| c.template == BESTSELLER as u32),
+                flags_bestseller: contexts.iter().any(|c| c.template == BESTSELLER as u32),
             }
         })
         .collect()
@@ -148,8 +146,7 @@ pub fn weight_ablation(snapshot: &DetectionSnapshot) -> Vec<WeightAblationRow> {
             .impacts
             .iter()
             .find(|((c, k), _)| {
-                c.template == BESTSELLER as u32
-                    && *k == odlb_metrics::MetricKind::BufferMisses
+                c.template == BESTSELLER as u32 && *k == odlb_metrics::MetricKind::BufferMisses
             })
             .map(|(_, &v)| v)
             .unwrap_or(0.0);
@@ -180,61 +177,60 @@ pub fn controller_ablation(
     rubis_clients: usize,
     intervals: usize,
 ) -> Vec<ControllerAblationRow> {
-    let run_with = |name: &'static str,
-                    mut ctl: Box<dyn ClusterController>|
-     -> ControllerAblationRow {
-        let mut sim = Simulation::new(SimulationConfig {
-            seed: 43_2007,
-            ..Default::default()
-        });
-        let s0 = sim.add_server(4);
-        sim.add_server(4);
-        sim.add_server(4);
-        let inst = sim.add_instance(s0, DomainId(1), EngineConfig::default());
-        let tpcw = sim.add_app(
-            tpcw_workload(TpcwConfig::default()),
-            Sla::one_second(),
-            ClientConfig::default(),
-            LoadFunction::Constant(tpcw_clients),
-        );
-        let rubis = sim.add_app(
-            rubis_workload(RubisConfig {
-                app: AppId(1),
+    let run_with =
+        |name: &'static str, mut ctl: Box<dyn ClusterController>| -> ControllerAblationRow {
+            let mut sim = Simulation::new(SimulationConfig {
+                seed: 43_2007,
                 ..Default::default()
-            }),
-            Sla::one_second(),
-            ClientConfig::default(),
-            LoadFunction::Step {
-                before: 0,
-                after: rubis_clients,
-                at: SimTime::from_secs(60),
-            },
-        );
-        sim.assign_replica(tpcw, inst);
-        sim.assign_replica(rubis, inst);
-        sim.start();
-        let mut final_latency = f64::NAN;
-        for _ in 0..intervals {
-            let outcome = sim.run_interval();
-            ctl.on_interval(&mut sim, &outcome);
-            if let Some(lat) = outcome.app_latency[&tpcw] {
-                final_latency = lat;
+            });
+            let s0 = sim.add_server(4);
+            sim.add_server(4);
+            sim.add_server(4);
+            let inst = sim.add_instance(s0, DomainId(1), EngineConfig::default());
+            let tpcw = sim.add_app(
+                tpcw_workload(TpcwConfig::default()),
+                Sla::one_second(),
+                ClientConfig::default(),
+                LoadFunction::Constant(tpcw_clients),
+            );
+            let rubis = sim.add_app(
+                rubis_workload(RubisConfig {
+                    app: AppId(1),
+                    ..Default::default()
+                }),
+                Sla::one_second(),
+                ClientConfig::default(),
+                LoadFunction::Step {
+                    before: 0,
+                    after: rubis_clients,
+                    at: SimTime::from_secs(60),
+                },
+            );
+            sim.assign_replica(tpcw, inst);
+            sim.assign_replica(rubis, inst);
+            sim.start();
+            let mut final_latency = f64::NAN;
+            for _ in 0..intervals {
+                let outcome = sim.run_interval();
+                ctl.on_interval(&mut sim, &outcome);
+                if let Some(lat) = outcome.app_latency[&tpcw] {
+                    final_latency = lat;
+                }
             }
-        }
-        let mut servers: Vec<odlb_metrics::ServerId> = sim
-            .replicas_of(tpcw)
-            .into_iter()
-            .chain(sim.replicas_of(rubis))
-            .map(|i| sim.server_of(i))
-            .collect();
-        servers.sort();
-        servers.dedup();
-        ControllerAblationRow {
-            controller: name,
-            final_latency_s: final_latency,
-            servers_used: servers.len(),
-        }
-    };
+            let mut servers: Vec<odlb_metrics::ServerId> = sim
+                .replicas_of(tpcw)
+                .into_iter()
+                .chain(sim.replicas_of(rubis))
+                .map(|i| sim.server_of(i))
+                .collect();
+            servers.sort();
+            servers.dedup();
+            ControllerAblationRow {
+                controller: name,
+                final_latency_s: final_latency,
+                servers_used: servers.len(),
+            }
+        };
     vec![
         run_with(
             "selective-retuning",
@@ -287,7 +283,9 @@ pub fn tracker_ablation(queries: usize, ratios: &[f64]) -> Vec<TrackerAblationRo
             }
             let max_deviation = (1..=20)
                 .map(|i| i * 500)
-                .map(|m| (bucketed.curve().miss_ratio(m) - bucketed.exact_curve().miss_ratio(m)).abs())
+                .map(|m| {
+                    (bucketed.curve().miss_ratio(m) - bucketed.exact_curve().miss_ratio(m)).abs()
+                })
                 .fold(0.0, f64::max);
             TrackerAblationRow {
                 ratio,

@@ -18,6 +18,7 @@ use odlb_engine::EngineConfig;
 use odlb_metrics::Sla;
 use odlb_sim::SimDuration;
 use odlb_storage::DomainId;
+use odlb_trace::Tracer;
 use odlb_workload::tpcw::{tpcw_workload, TpcwConfig};
 use odlb_workload::{ClientConfig, LoadFunction, WorkloadSpec};
 
@@ -74,6 +75,26 @@ pub fn run(
     max_clients: usize,
     servers: usize,
 ) -> Fig3Result {
+    run_with(
+        Tracer::new(),
+        intervals,
+        warmup_intervals,
+        min_clients,
+        max_clients,
+        servers,
+    )
+}
+
+/// [`run`] with a decision tracer attached to the driver and controller
+/// (the golden-trace suite and the `--trace` flag go through here).
+pub fn run_with(
+    tracer: Tracer,
+    intervals: usize,
+    warmup_intervals: usize,
+    min_clients: usize,
+    max_clients: usize,
+    servers: usize,
+) -> Fig3Result {
     let mut sim = Simulation::new(SimulationConfig {
         seed: 3_2007,
         ..Default::default()
@@ -105,9 +126,11 @@ pub fn run(
         },
     );
     sim.assign_replica(app, inst);
+    sim.set_tracer(tracer.clone());
     sim.start();
 
     let mut controller = SelectiveRetuningController::new(ControllerConfig::default());
+    controller.set_tracer(tracer.clone());
     let mut result = Fig3Result {
         load: Vec::new(),
         machines: Vec::new(),
@@ -138,6 +161,7 @@ pub fn run(
             }
         }
     }
+    tracer.flush();
     result
 }
 
@@ -197,9 +221,6 @@ mod tests {
     fn cpu_scaling_multiplies_demand() {
         let base = tpcw_workload(TpcwConfig::default());
         let scaled = scale_cpu(base.clone(), 8);
-        assert_eq!(
-            scaled.classes[0].cpu_base,
-            base.classes[0].cpu_base * 8
-        );
+        assert_eq!(scaled.classes[0].cpu_base, base.classes[0].cpu_base * 8);
     }
 }

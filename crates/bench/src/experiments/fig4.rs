@@ -20,6 +20,7 @@ use odlb_core::{Action, ClusterController, ControllerConfig, SelectiveRetuningCo
 use odlb_engine::EngineConfig;
 use odlb_metrics::{MetricKind, Sla};
 use odlb_storage::DomainId;
+use odlb_trace::Tracer;
 use odlb_workload::tpcw::{bestseller_pattern, tpcw_workload, TpcwConfig, BESTSELLER};
 use odlb_workload::{ClientConfig, LoadFunction};
 use std::collections::BTreeMap;
@@ -52,6 +53,17 @@ pub struct Fig4Result {
 /// warm-up + stable-state recording before the drop; up to
 /// `recovery_intervals` afterwards.
 pub fn run(clients: usize, stable_intervals: usize, recovery_intervals: usize) -> Fig4Result {
+    run_with(Tracer::new(), clients, stable_intervals, recovery_intervals)
+}
+
+/// [`run`] with a decision tracer attached to the driver and controller
+/// (the golden-trace suite and the `--trace` flag go through here).
+pub fn run_with(
+    tracer: Tracer,
+    clients: usize,
+    stable_intervals: usize,
+    recovery_intervals: usize,
+) -> Fig4Result {
     let mut sim = Simulation::new(SimulationConfig {
         seed: 4_2007,
         ..Default::default()
@@ -65,9 +77,11 @@ pub fn run(clients: usize, stable_intervals: usize, recovery_intervals: usize) -
         LoadFunction::Constant(clients),
     );
     sim.assign_replica(app, inst);
+    sim.set_tracer(tracer.clone());
     sim.start();
 
     let mut controller = SelectiveRetuningController::new(ControllerConfig::default());
+    controller.set_tracer(tracer.clone());
     let mut latency_before = f64::NAN;
     let mut stable_metrics: BTreeMap<u32, [f64; 4]> = BTreeMap::new();
     for _ in 0..stable_intervals {
@@ -160,6 +174,7 @@ pub fn run(clients: usize, stable_intervals: usize, recovery_intervals: usize) -
             result.latency_after_action = lat;
         }
     }
+    tracer.flush();
     result
 }
 

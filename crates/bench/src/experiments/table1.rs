@@ -85,9 +85,7 @@ pub fn run(queries: usize) -> Table1Result {
     // Replays the trace through a pool with InnoDB-style read-ahead:
     // sequential runs trigger prefetch of the next extent, installed on
     // behalf of (and, under a quota, into the partition of) the class.
-    let hit_ratios = |pool: &mut PartitionedPool,
-                      filter: &dyn Fn(ClassId) -> bool|
-     -> (f64, f64) {
+    let hit_ratios = |pool: &mut PartitionedPool, filter: &dyn Fn(ClassId) -> bool| -> (f64, f64) {
         let mut readahead = ReadAheadDetector::default();
         for (i, (class, pages)) in trace.iter().enumerate() {
             if i == warmup {
@@ -196,7 +194,10 @@ mod tests {
         );
         // BestSeller's scan is hidden by read-ahead everywhere: high and
         // roughly unchanged across configurations.
-        assert!(bs_shared > 0.8, "prefetch keeps BestSeller high: {bs_shared:.3}");
+        assert!(
+            bs_shared > 0.8,
+            "prefetch keeps BestSeller high: {bs_shared:.3}"
+        );
         assert!(
             (bs_part - bs_excl).abs() < 0.10,
             "quota ≈ isolation for BestSeller: {bs_part:.3} vs {bs_excl:.3}"

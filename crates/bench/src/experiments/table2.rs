@@ -159,7 +159,9 @@ pub fn run(
         }
     }
     // Skip the first post-placement interval (warm-up of the new replica).
-    let tail = recovered_lat.len().min(recovered_lat.len().saturating_sub(1).max(1));
+    let tail = recovered_lat
+        .len()
+        .min(recovered_lat.len().saturating_sub(1).max(1));
     if !recovered_lat.is_empty() {
         let from = recovered_lat.len() - tail;
         result.recovered = Table2Row {

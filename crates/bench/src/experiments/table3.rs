@@ -163,7 +163,10 @@ pub fn render(r: &Table3Result) -> String {
         "Placement (domain-1 / domain-2)", "Latency (s)", "Tput (q/s)"
     ));
     let line = |label: &str, row: &Table3Row| {
-        format!("{:<34}{:>12.2}{:>16.2}\n", label, row.latency_s, row.throughput)
+        format!(
+            "{:<34}{:>12.2}{:>16.2}\n",
+            label, row.latency_s, row.throughput
+        )
     };
     out.push_str(&line("RUBiS / IDLE", &r.baseline));
     out.push_str(&line("RUBiS / RUBiS", &r.contended));

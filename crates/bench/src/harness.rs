@@ -1,0 +1,120 @@
+//! Minimal micro-benchmark harness for the `benches/` targets.
+//!
+//! The usual `criterion` dependency is not available offline, so each
+//! bench target (already `harness = false`) drives this instead: adaptive
+//! iteration-count timing with a warm-up pass, reporting mean/min wall
+//! time per iteration and derived element throughput. No statistics
+//! beyond that — these benches guard order-of-magnitude regressions and
+//! the relative ranking of implementations (e.g. exact Mattson vs the
+//! bucketed approximation), not microsecond deltas.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target cumulative measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Iteration-count cap, so very slow benches still terminate promptly.
+const MAX_ITERS: u32 = 1_000;
+
+/// One bench target's runner: takes an optional substring filter from the
+/// command line (cargo passes extra args through) and times every
+/// matching benchmark.
+pub struct Bench {
+    filter: Option<String>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::from_args()
+    }
+}
+
+impl Bench {
+    /// Builds the runner from `std::env::args`, taking the first
+    /// non-flag argument as a name filter (`--bench` and friends that
+    /// cargo forwards are ignored).
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Bench { filter }
+    }
+
+    /// Times `f`, printing mean and min per-iteration wall time.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        self.bench_elements(name, 0, f);
+    }
+
+    /// Like [`Bench::bench`], additionally reporting `elements / mean
+    /// iteration time` as a throughput (for per-item benches).
+    pub fn bench_elements<R>(&mut self, name: &str, elements: u64, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: one untimed run (fills caches, resolves lazy init) and
+        // a first estimate of the per-iteration cost.
+        black_box(f());
+        let start = Instant::now();
+        black_box(f());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / estimate.as_nanos()).clamp(1, MAX_ITERS as u128) as u32;
+
+        let mut min = Duration::MAX;
+        let total_start = Instant::now();
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            min = min.min(t.elapsed());
+        }
+        let mean = total_start.elapsed() / iters;
+        let mut line = format!(
+            "{name:<40} {:>12} mean  {:>12} min  ({iters} iters)",
+            format_duration(mean),
+            format_duration(min),
+        );
+        if elements > 0 && mean.as_nanos() > 0 {
+            let rate = elements as f64 / mean.as_secs_f64();
+            line.push_str(&format!("  {:.2e} elems/s", rate));
+        }
+        println!("{line}");
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_respects_filter() {
+        let mut b = Bench {
+            filter: Some("match".to_string()),
+        };
+        let mut matched = 0u32;
+        let mut filtered = 0u32;
+        b.bench("matching_name", || matched += 1);
+        b.bench("other", || filtered += 1);
+        assert!(matched > 0, "matching bench must run");
+        assert_eq!(filtered, 0, "non-matching bench must be skipped");
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(40)), "40.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -18,5 +18,6 @@
 //! | [`experiments::ablations`] | A1 fences, A2 weights, A3 fine-vs-coarse, A4 threshold, A5 tracker |
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::*;

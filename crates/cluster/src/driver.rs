@@ -15,12 +15,11 @@
 use crate::scheduler::Scheduler;
 use crate::topology::{InstanceId, ProvisionError};
 use odlb_engine::{DbEngine, EngineConfig, QuerySpec};
-use odlb_metrics::{
-    AppId, ClassId, IntervalReport, QueryLogRecord, ServerId, Sla, SlaOutcome,
-};
+use odlb_metrics::{AppId, ClassId, IntervalReport, QueryLogRecord, ServerId, Sla, SlaOutcome};
 use odlb_mrc::MissRatioCurve;
 use odlb_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use odlb_storage::{DiskModel, DomainId, SharedIoPath};
+use odlb_trace::{TraceEvent, Tracer};
 use odlb_workload::{ClientConfig, ClientPool, LoadFunction, WorkloadSpec};
 use std::collections::BTreeMap;
 
@@ -49,9 +48,20 @@ impl Default for SimulationConfig {
 }
 
 enum Event {
-    ClientIssue { app: usize, client: u64 },
-    QueryDone { app: usize, client: Option<u64>, instance: usize, record: QueryLogRecord },
-    ReplicaReady { app: usize, instance: usize },
+    ClientIssue {
+        app: usize,
+        client: u64,
+    },
+    QueryDone {
+        app: usize,
+        client: Option<u64>,
+        instance: usize,
+        record: QueryLogRecord,
+    },
+    ReplicaReady {
+        app: usize,
+        instance: usize,
+    },
     LoadTick,
 }
 
@@ -134,6 +144,8 @@ pub struct Simulation {
     now: SimTime,
     last_tick: SimTime,
     started: bool,
+    tracer: Tracer,
+    interval_seq: u64,
 }
 
 impl Simulation {
@@ -148,7 +160,17 @@ impl Simulation {
             now: SimTime::ZERO,
             last_tick: SimTime::ZERO,
             started: false,
+            tracer: Tracer::new(),
+            interval_seq: 0,
         }
+    }
+
+    /// Installs a decision-trace handle. The driver emits
+    /// `interval_closed` and `sla_evaluated` events at the end of every
+    /// measurement interval; a controller holding a clone of the same
+    /// tracer emits the diagnosis and action events in between.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The current simulation time.
@@ -256,12 +278,7 @@ impl Simulation {
         // already hosting this app.
         let candidate = (0..self.servers.len())
             .filter(|s| !used.contains(s))
-            .min_by_key(|&s| {
-                self.instances
-                    .iter()
-                    .filter(|i| i.server == s)
-                    .count()
-            })
+            .min_by_key(|&s| self.instances.iter().filter(|i| i.server == s).count())
             .ok_or(ProvisionError::NoFreeServer)?;
         if used.contains(&candidate) {
             return Err(ProvisionError::NoFreeServer);
@@ -353,7 +370,9 @@ impl Simulation {
 
     /// Clears a quota; returns whether one existed.
     pub fn clear_quota(&mut self, instance: InstanceId, class: ClassId) -> bool {
-        self.instances[instance.0 as usize].engine.clear_quota(class)
+        self.instances[instance.0 as usize]
+            .engine
+            .clear_quota(class)
     }
 
     /// Recomputes a class's MRC from its access window on one instance.
@@ -370,7 +389,10 @@ impl Simulation {
 
     /// Buffer pool size (pages) of an instance.
     pub fn pool_pages(&self, instance: InstanceId) -> usize {
-        self.instances[instance.0 as usize].engine.config().pool_pages
+        self.instances[instance.0 as usize]
+            .engine
+            .config()
+            .pool_pages
     }
 
     /// The server hosting an instance.
@@ -530,8 +552,28 @@ impl Simulation {
                 io_utilisation: s.io.utilisation_since_snapshot(end),
             })
             .collect();
+        let start = end.saturating_start(self.config.measurement_interval);
+        if self.tracer.is_active() {
+            self.tracer.emit(TraceEvent::IntervalClosed {
+                seq: self.interval_seq,
+                start_us: start.as_micros(),
+                end_us: end.as_micros(),
+                instances: reports.len() as u32,
+                classes: reports.values().map(|r| r.per_class.len() as u32).sum(),
+            });
+            for (app, outcome) in &sla {
+                self.tracer.emit(TraceEvent::SlaEvaluated {
+                    end_us: end.as_micros(),
+                    app: app.0,
+                    latency_s: app_latency[app],
+                    throughput_qps: app_throughput[app],
+                    violated: outcome.is_violation(),
+                });
+            }
+        }
+        self.interval_seq += 1;
         IntervalOutcome {
-            start: end.saturating_start(self.config.measurement_interval),
+            start,
             end,
             reports,
             app_latency,
@@ -848,7 +890,10 @@ mod tests {
         let (mut sim, app) = small_sim(10);
         assert_eq!(sim.replicas_of(app).len(), 1);
         // No second server yet: provisioning must fail.
-        assert_eq!(sim.provision_replica(app), Err(ProvisionError::NoFreeServer));
+        assert_eq!(
+            sim.provision_replica(app),
+            Err(ProvisionError::NoFreeServer)
+        );
         sim.add_server(4);
         let new = sim.provision_replica(app).expect("free server available");
         // Not yet ready.

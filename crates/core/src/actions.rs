@@ -3,6 +3,7 @@
 
 use odlb_cluster::InstanceId;
 use odlb_metrics::{AppId, ClassId};
+use odlb_trace::{ActionKind, TraceEvent, Tracer};
 use std::fmt;
 
 /// One control action (or notable diagnosis event) in an interval.
@@ -98,6 +99,116 @@ pub enum Action {
         /// Destination replica.
         to: InstanceId,
     },
+}
+
+impl Action {
+    /// Maps this action to its decision-trace event at interval end
+    /// `end_us`. MRC recomputations become first-class `mrc_validation`
+    /// events; everything else becomes an `action_applied` record whose
+    /// `detail` is the action's human-readable rendering.
+    pub fn to_trace_event(&self, end_us: u64) -> TraceEvent {
+        if let Action::RecomputedMrc {
+            instance,
+            class,
+            acceptable_pages,
+            changed,
+        } = self
+        {
+            return TraceEvent::MrcValidation {
+                end_us,
+                instance: instance.0,
+                app: class.app.0,
+                template: class.template,
+                acceptable_pages: *acceptable_pages as u64,
+                changed: *changed,
+            };
+        }
+        let (kind, app, instance, template, pages) = match self {
+            Action::RecomputedMrc { .. } => unreachable!("handled above"),
+            Action::DetectedOutliers { instance, .. } => (
+                ActionKind::DetectedOutliers,
+                None,
+                Some(instance.0),
+                None,
+                None,
+            ),
+            Action::SetQuota {
+                instance,
+                class,
+                pages,
+            } => (
+                ActionKind::SetQuota,
+                Some(class.app.0),
+                Some(instance.0),
+                Some(class.template),
+                Some(*pages as u64),
+            ),
+            Action::PlacedClass { app, class, to } => (
+                ActionKind::PlacedClass,
+                Some(app.0),
+                Some(to.0),
+                Some(class.template),
+                None,
+            ),
+            Action::ProvisionedReplica { app, instance } => (
+                ActionKind::ProvisionedReplica,
+                Some(app.0),
+                Some(instance.0),
+                None,
+                None,
+            ),
+            Action::RetiredReplica { app, instance } => (
+                ActionKind::RetiredReplica,
+                Some(app.0),
+                Some(instance.0),
+                None,
+                None,
+            ),
+            Action::CoarseFallback { app } => {
+                (ActionKind::CoarseFallback, Some(app.0), None, None, None)
+            }
+            Action::DetectedLockContention {
+                instance, class, ..
+            } => (
+                ActionKind::LockContention,
+                Some(class.app.0),
+                Some(instance.0),
+                Some(class.template),
+                None,
+            ),
+            Action::MigratedVm { instance, .. } => {
+                (ActionKind::MigratedVm, None, Some(instance.0), None, None)
+            }
+            Action::MovedIoHeavyClass { app, class, to } => (
+                ActionKind::MovedIoHeavyClass,
+                Some(app.0),
+                Some(to.0),
+                Some(class.template),
+                None,
+            ),
+        };
+        TraceEvent::ActionApplied {
+            end_us,
+            kind,
+            app,
+            instance,
+            template,
+            pages,
+            detail: self.to_string(),
+        }
+    }
+}
+
+/// Emits every action's trace event in order (no-op when `tracer` has no
+/// sinks). All controllers call this once per interval so the applied
+/// action stream is traced uniformly.
+pub fn emit_actions(tracer: &Tracer, end_us: u64, actions: &[Action]) {
+    if !tracer.is_active() {
+        return;
+    }
+    for action in actions {
+        tracer.emit(action.to_trace_event(end_us));
+    }
 }
 
 impl fmt::Display for Action {

@@ -11,11 +11,12 @@
 //!   replica and move *all* of it there (the VM-migration-style remedy).
 //!   Effective but wasteful in machines — ablation A3 counts exactly that.
 
-use crate::actions::Action;
+use crate::actions::{emit_actions, Action};
 use crate::controller::ClusterController;
+use odlb_cluster::InstanceId;
 use odlb_cluster::{IntervalOutcome, Simulation};
 use odlb_metrics::{AppId, ClassId};
-use odlb_cluster::InstanceId;
+use odlb_trace::Tracer;
 use std::collections::HashMap;
 
 /// Tivoli-style: provision on CPU saturation, otherwise shrug.
@@ -25,6 +26,7 @@ pub struct CpuOnlyController {
     /// Intervals to wait between provisions per app.
     pub cooldown_intervals: u32,
     cooldown: HashMap<AppId, u32>,
+    tracer: Tracer,
 }
 
 impl CpuOnlyController {
@@ -34,6 +36,7 @@ impl CpuOnlyController {
             cpu_saturation,
             cooldown_intervals,
             cooldown: HashMap::new(),
+            tracer: Tracer::new(),
         }
     }
 }
@@ -67,7 +70,12 @@ impl ClusterController for CpuOnlyController {
             }
             // Not CPU? Then this controller has no idea what to do.
         }
+        emit_actions(&self.tracer, outcome.end.as_micros(), &actions);
         actions
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -78,6 +86,7 @@ pub struct CoarseGrainedController {
     pub cooldown_intervals: u32,
     cooldown: HashMap<AppId, u32>,
     pending: Vec<(AppId, InstanceId)>,
+    tracer: Tracer,
 }
 
 impl CoarseGrainedController {
@@ -87,6 +96,7 @@ impl CoarseGrainedController {
             cooldown_intervals,
             cooldown: HashMap::new(),
             pending: Vec::new(),
+            tracer: Tracer::new(),
         }
     }
 }
@@ -126,7 +136,12 @@ impl ClusterController for CoarseGrainedController {
                 self.cooldown.insert(app, self.cooldown_intervals);
             }
         }
+        emit_actions(&self.tracer, outcome.end.as_micros(), &actions);
         actions
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -141,6 +156,7 @@ pub struct VmMigrationController {
     /// Intervals between migrations per app.
     pub cooldown_intervals: u32,
     cooldown: HashMap<AppId, u32>,
+    tracer: Tracer,
 }
 
 impl VmMigrationController {
@@ -150,6 +166,7 @@ impl VmMigrationController {
             downtime,
             cooldown_intervals,
             cooldown: HashMap::new(),
+            tracer: Tracer::new(),
         }
     }
 }
@@ -195,7 +212,12 @@ impl ClusterController for VmMigrationController {
                 }
             }
         }
+        emit_actions(&self.tracer, outcome.end.as_micros(), &actions);
         actions
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

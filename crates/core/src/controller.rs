@@ -1,21 +1,26 @@
 //! The selective retuning controller — the paper's §3 algorithm as a
 //! per-interval control loop over the simulated cluster.
 
-use crate::actions::Action;
+use crate::actions::{emit_actions, Action};
 use crate::config::ControllerConfig;
 use crate::memory::{
-    find_problem_classes, instance_key, pick_replacement_target, plan_memory_action,
-    MemoryPlan,
+    find_problem_classes, instance_key, pick_replacement_target, plan_memory_action, MemoryPlan,
 };
 use odlb_cluster::{InstanceId, IntervalOutcome, Simulation};
 use odlb_metrics::{AppId, ClassId, MetricKind, StableStateStore};
 use odlb_outlier::{detect, top_k_heavyweight, Severity};
+use odlb_trace::{TraceEvent, Tracer};
 use std::collections::HashMap;
 
 /// Anything that can steer the cluster between measurement intervals.
 pub trait ClusterController {
     /// Inspects one closed interval and applies actions through `sim`.
     fn on_interval(&mut self, sim: &mut Simulation, outcome: &IntervalOutcome) -> Vec<Action>;
+
+    /// Installs a decision-trace handle (usually a clone of the one given
+    /// to the [`Simulation`]). Controllers that emit nothing may keep the
+    /// default no-op.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }
 
 /// The paper's controller: stable-state tracking, outlier-driven
@@ -30,6 +35,7 @@ pub struct SelectiveRetuningController {
     pending_placements: Vec<(AppId, ClassId, InstanceId)>,
     /// Whole-app isolations waiting for their replica.
     pending_isolations: Vec<(AppId, InstanceId)>,
+    tracer: Tracer,
 }
 
 impl SelectiveRetuningController {
@@ -42,6 +48,7 @@ impl SelectiveRetuningController {
             streak: HashMap::new(),
             pending_placements: Vec::new(),
             pending_isolations: Vec::new(),
+            tracer: Tracer::new(),
         }
     }
 
@@ -125,10 +132,7 @@ impl SelectiveRetuningController {
                     .sla
                     .get(&class.app)
                     .is_some_and(|s| !s.is_violation());
-                let has_mrc = self
-                    .stable
-                    .get(key, class)
-                    .is_some_and(|s| s.mrc.is_some());
+                let has_mrc = self.stable.get(key, class).is_some_and(|s| s.mrc.is_some());
                 if met && !has_mrc {
                     let cap = sim.pool_pages(instance);
                     if let Some(curve) = sim.recompute_mrc(instance, class, cap) {
@@ -259,6 +263,27 @@ impl SelectiveRetuningController {
                     extreme: detection.count_severity(Severity::Extreme),
                 });
             }
+            // Trace every per-metric finding, not just the summary: the
+            // fine-grained stream is what golden traces pin down.
+            if self.tracer.is_active() {
+                for (&class, findings) in &detection.findings {
+                    for f in findings {
+                        self.tracer.emit(TraceEvent::OutlierFinding {
+                            end_us: outcome.end.as_micros(),
+                            instance: inst.0,
+                            app: class.app.0,
+                            template: class.template,
+                            metric: f.metric.label(),
+                            severity: match f.severity {
+                                Severity::Mild => "mild",
+                                Severity::Extreme => "extreme",
+                            },
+                            ratio: f.ratio,
+                            degradation: f.indicates_degradation(),
+                        });
+                    }
+                }
+            }
             // §7 future work: surface lock-contention anomalies. No
             // automatic remedy — writes run on every replica under
             // read-one-write-all, so neither quotas nor re-placement can
@@ -293,8 +318,11 @@ impl SelectiveRetuningController {
                     self.start_cooldown(app);
                     continue;
                 }
-                suspects =
-                    top_k_heavyweight(&report.per_class, MetricKind::PageAccesses, self.config.top_k);
+                suspects = top_k_heavyweight(
+                    &report.per_class,
+                    MetricKind::PageAccesses,
+                    self.config.top_k,
+                );
             }
             let (problems, examined) = find_problem_classes(
                 sim,
@@ -354,8 +382,7 @@ impl SelectiveRetuningController {
                 return;
             }
             if let Some(report) = outcome.reports.get(&inst) {
-                let top_io =
-                    top_k_heavyweight(&report.per_class, MetricKind::IoRequests, 1);
+                let top_io = top_k_heavyweight(&report.per_class, MetricKind::IoRequests, 1);
                 if let Some(&class) = top_io.first() {
                     let needed = self
                         .stable
@@ -364,12 +391,19 @@ impl SelectiveRetuningController {
                         .map(|m| m.acceptable_memory_needed)
                         .unwrap_or(0);
                     self.replace_class(sim, inst, class, needed, actions);
-                    if let Some(Action::PlacedClass { app: a, class: c, to }) =
-                        actions.last().cloned()
+                    if let Some(Action::PlacedClass {
+                        app: a,
+                        class: c,
+                        to,
+                    }) = actions.last().cloned()
                     {
                         // Re-tag for reporting: this was the I/O path.
                         actions.pop();
-                        actions.push(Action::MovedIoHeavyClass { app: a, class: c, to });
+                        actions.push(Action::MovedIoHeavyClass {
+                            app: a,
+                            class: c,
+                            to,
+                        });
                     }
                     self.start_cooldown(app);
                 }
@@ -406,8 +440,7 @@ impl SelectiveRetuningController {
         // Hysteresis: releasing must not re-saturate the survivors. The
         // victim's load spreads over the remaining replicas; require the
         // projected utilisation to stay well under the saturation trigger.
-        let projected =
-            utils.iter().sum::<f64>() / (replicas.len() as f64 - 1.0);
+        let projected = utils.iter().sum::<f64>() / (replicas.len() as f64 - 1.0);
         if all_idle && projected < self.config.cpu_saturation * 0.75 {
             // Candidate: the most recently added replica. Never retire a
             // replica that carries a pinned class — that would silently
@@ -467,7 +500,12 @@ impl ClusterController for SelectiveRetuningController {
                 }
             }
         }
+        emit_actions(&self.tracer, outcome.end.as_micros(), &actions);
         actions
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

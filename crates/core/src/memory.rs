@@ -227,27 +227,15 @@ mod tests {
         let mut stable = StableStateStore::new();
         let suspects = vec![ClassId::new(app, 0), ClassId::new(app, 1)];
         let config = ControllerConfig::default();
-        let (problems, examined) = find_problem_classes(
-            &sim,
-            inst,
-            &suspects,
-            &mut stable,
-            &config,
-            sim.now(),
-        );
+        let (problems, examined) =
+            find_problem_classes(&sim, inst, &suspects, &mut stable, &config, sim.now());
         assert_eq!(problems.len(), 2, "no prior MRC: both are problems");
         assert!(problems.iter().all(|p| !p.changed));
         assert_eq!(examined.len(), 2);
         // Parameters are now the stable reference: re-running finds no
         // problems.
-        let (again, _) = find_problem_classes(
-            &sim,
-            inst,
-            &suspects,
-            &mut stable,
-            &config,
-            sim.now(),
-        );
+        let (again, _) =
+            find_problem_classes(&sim, inst, &suspects, &mut stable, &config, sim.now());
         assert!(again.is_empty(), "unchanged curves are not problems");
     }
 

@@ -5,8 +5,7 @@ use crate::locks::LockManager;
 use crate::query::QuerySpec;
 use odlb_bufferpool::{PartitionedPool, QuotaError};
 use odlb_metrics::{
-    ClassId, ClassStatsCollector, IntervalReport, PrivateLogBuffer, QueryLogRecord,
-    WindowRegistry,
+    ClassId, ClassStatsCollector, IntervalReport, PrivateLogBuffer, QueryLogRecord, WindowRegistry,
 };
 use odlb_mrc::MissRatioCurve;
 use odlb_sim::{SimTime, Station};

@@ -37,12 +37,7 @@ impl LockManager {
     /// whose execution (once running) lasts `exec`. Returns the lock wait
     /// — the delay until every page is free. All pages are then held
     /// until `now + wait + exec`.
-    pub fn acquire(
-        &mut self,
-        now: SimTime,
-        pages: &[PageId],
-        exec: SimDuration,
-    ) -> SimDuration {
+    pub fn acquire(&mut self, now: SimTime, pages: &[PageId], exec: SimDuration) -> SimDuration {
         let mut free_at = now;
         for page in pages {
             if let Some(&until) = self.held_until.get(page) {

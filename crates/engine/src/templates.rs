@@ -73,7 +73,10 @@ pub fn normalize_template(sql: &str) -> String {
         out.pop();
     }
     // Collapse IN-lists of placeholders: (?, ?, ?) -> (?).
-    let mut collapsed = out.replace("? , ?", "?").replace("?, ?", "?").replace("?,?", "?");
+    let mut collapsed = out
+        .replace("? , ?", "?")
+        .replace("?, ?", "?")
+        .replace("?,?", "?");
     while collapsed.contains("?, ?") || collapsed.contains("?,?") {
         collapsed = collapsed.replace("?, ?", "?").replace("?,?", "?");
     }

@@ -170,7 +170,10 @@ mod tests {
         c.record(&rec(0, 1, 300, 30, 4));
         let report = c.close_interval(SimTime::from_secs(10));
         let v = report.per_class[&ClassId::new(AppId(0), 1)];
-        assert!((v[MetricKind::Latency] - 0.2).abs() < 1e-9, "mean of 0.1/0.3");
+        assert!(
+            (v[MetricKind::Latency] - 0.2).abs() < 1e-9,
+            "mean of 0.1/0.3"
+        );
         assert!((v[MetricKind::Throughput] - 0.2).abs() < 1e-9, "2 in 10s");
         assert_eq!(v[MetricKind::PageAccesses], 40.0);
         assert_eq!(v[MetricKind::BufferMisses], 6.0);
@@ -215,7 +218,10 @@ mod tests {
         c.record(&rec(0, 2, 500, 1, 0));
         let report = c.close_interval(SimTime::from_secs(10));
         let mean = report.app_mean_latency(AppId(0)).unwrap();
-        assert!((mean - 0.2).abs() < 1e-9, "(3*0.1 + 0.5)/4 = 0.2, got {mean}");
+        assert!(
+            (mean - 0.2).abs() < 1e-9,
+            "(3*0.1 + 0.5)/4 = 0.2, got {mean}"
+        );
         assert!(report.app_mean_latency(AppId(9)).is_none());
     }
 

@@ -66,13 +66,7 @@ impl StableStateStore {
     /// Stores or replaces a class's MRC parameters on a server. No-op on
     /// the metric part; creates the signature when absent (a class whose
     /// MRC was computed at first scheduling, before any stable interval).
-    pub fn record_mrc(
-        &mut self,
-        server: ServerId,
-        class: ClassId,
-        mrc: MrcParams,
-        at: SimTime,
-    ) {
+    pub fn record_mrc(&mut self, server: ServerId, class: ClassId, mrc: MrcParams, at: SimTime) {
         self.map
             .entry((server, class))
             .and_modify(|sig| sig.mrc = Some(mrc))
@@ -192,10 +186,30 @@ mod tests {
     #[test]
     fn for_app_on_server_filters_and_sorts() {
         let mut store = StableStateStore::new();
-        store.record_stable(ServerId(1), ClassId::new(AppId(0), 5), metrics(0.1), SimTime::ZERO);
-        store.record_stable(ServerId(1), ClassId::new(AppId(0), 2), metrics(0.1), SimTime::ZERO);
-        store.record_stable(ServerId(1), ClassId::new(AppId(1), 1), metrics(0.1), SimTime::ZERO);
-        store.record_stable(ServerId(2), ClassId::new(AppId(0), 9), metrics(0.1), SimTime::ZERO);
+        store.record_stable(
+            ServerId(1),
+            ClassId::new(AppId(0), 5),
+            metrics(0.1),
+            SimTime::ZERO,
+        );
+        store.record_stable(
+            ServerId(1),
+            ClassId::new(AppId(0), 2),
+            metrics(0.1),
+            SimTime::ZERO,
+        );
+        store.record_stable(
+            ServerId(1),
+            ClassId::new(AppId(1), 1),
+            metrics(0.1),
+            SimTime::ZERO,
+        );
+        store.record_stable(
+            ServerId(2),
+            ClassId::new(AppId(0), 9),
+            metrics(0.1),
+            SimTime::ZERO,
+        );
         let got = store.for_app_on_server(ServerId(1), AppId(0));
         let templates: Vec<u32> = got.iter().map(|(c, _)| c.template).collect();
         assert_eq!(templates, vec![2, 5]);

@@ -173,9 +173,14 @@ impl MrcParams {
     ///
     /// A class whose recomputed MRC shows significantly higher memory need
     /// remains a *problem class* suspected of causing memory interference.
-    pub fn significantly_worse_than(&self, stable: &MrcParams, factor: f64, ratio_slack: f64) -> bool {
-        let need_grew = self.total_memory_needed as f64
-            > stable.total_memory_needed as f64 * factor;
+    pub fn significantly_worse_than(
+        &self,
+        stable: &MrcParams,
+        factor: f64,
+        ratio_slack: f64,
+    ) -> bool {
+        let need_grew =
+            self.total_memory_needed as f64 > stable.total_memory_needed as f64 * factor;
         let ratio_worse = self.ideal_miss_ratio > stable.ideal_miss_ratio + ratio_slack;
         need_grew || ratio_worse
     }

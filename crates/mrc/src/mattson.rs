@@ -117,8 +117,7 @@ impl<K: Copy + Eq + Hash> MattsonTracker<K> {
     /// Re-numbers live keys' slots densely as `1..=n` and sizes the tree
     /// with headroom, preserving relative recency order exactly.
     fn rebuild(&mut self) {
-        let mut entries: Vec<(K, usize)> =
-            self.last_slot.iter().map(|(k, &s)| (*k, s)).collect();
+        let mut entries: Vec<(K, usize)> = self.last_slot.iter().map(|(k, &s)| (*k, s)).collect();
         entries.sort_by_key(|&(_, s)| s);
         let n = entries.len();
         let cap = ((n + 1) * 2).next_power_of_two().max(4096);
@@ -223,7 +222,9 @@ mod tests {
         // Deterministic pseudo-random trace with locality.
         let mut x: u64 = 0x12345678;
         for i in 0..20_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = if i % 3 == 0 { x % 50 } else { x % 2000 };
             assert_eq!(fast.access(key), slow.access(key), "at access {i}");
         }

@@ -42,7 +42,10 @@ pub struct QuotaAssignment {
 /// Feasibility test: grant each class its acceptable memory. Returns the
 /// assignments when the total fits in `total_pages`, or `None` when the
 /// set cannot be co-located at acceptable quality (→ re-place someone).
-pub fn fit_quotas(total_pages: usize, requests: &[QuotaRequest<'_>]) -> Option<Vec<QuotaAssignment>> {
+pub fn fit_quotas(
+    total_pages: usize,
+    requests: &[QuotaRequest<'_>],
+) -> Option<Vec<QuotaAssignment>> {
     let demand: usize = requests.iter().map(|r| r.acceptable_pages).sum();
     if demand > total_pages {
         return None;
@@ -133,8 +136,18 @@ mod tests {
         let a = working_set_curve(100, 1000, 8192);
         let b = working_set_curve(200, 1000, 8192);
         let reqs = vec![
-            QuotaRequest { id: 1, curve: &a, acceptable_pages: 100, access_rate: 1.0 },
-            QuotaRequest { id: 2, curve: &b, acceptable_pages: 200, access_rate: 1.0 },
+            QuotaRequest {
+                id: 1,
+                curve: &a,
+                acceptable_pages: 100,
+                access_rate: 1.0,
+            },
+            QuotaRequest {
+                id: 2,
+                curve: &b,
+                acceptable_pages: 200,
+                access_rate: 1.0,
+            },
         ];
         let fit = fit_quotas(8192, &reqs).expect("300 pages fit in 8192");
         assert_eq!(fit[0].pages, 100);
@@ -149,8 +162,18 @@ mod tests {
         let a = working_set_curve(6982, 1000, 8192);
         let b = working_set_curve(7906, 1000, 8192);
         let reqs = vec![
-            QuotaRequest { id: 1, curve: &a, acceptable_pages: 6982, access_rate: 1.0 },
-            QuotaRequest { id: 2, curve: &b, acceptable_pages: 7906, access_rate: 1.0 },
+            QuotaRequest {
+                id: 1,
+                curve: &a,
+                acceptable_pages: 6982,
+                access_rate: 1.0,
+            },
+            QuotaRequest {
+                id: 2,
+                curve: &b,
+                acceptable_pages: 7906,
+                access_rate: 1.0,
+            },
         ];
         assert!(fit_quotas(8192, &reqs).is_none());
     }
@@ -159,10 +182,23 @@ mod tests {
     fn fit_exact_boundary() {
         let a = working_set_curve(4096, 10, 8192);
         let reqs = vec![
-            QuotaRequest { id: 1, curve: &a, acceptable_pages: 4096, access_rate: 1.0 },
-            QuotaRequest { id: 2, curve: &a, acceptable_pages: 4096, access_rate: 1.0 },
+            QuotaRequest {
+                id: 1,
+                curve: &a,
+                acceptable_pages: 4096,
+                access_rate: 1.0,
+            },
+            QuotaRequest {
+                id: 2,
+                curve: &a,
+                acceptable_pages: 4096,
+                access_rate: 1.0,
+            },
         ];
-        assert!(fit_quotas(8192, &reqs).is_some(), "exactly full is feasible");
+        assert!(
+            fit_quotas(8192, &reqs).is_some(),
+            "exactly full is feasible"
+        );
     }
 
     #[test]
@@ -170,8 +206,18 @@ mod tests {
         let hot = working_set_curve(100, 10_000, 1024);
         let cold = working_set_curve(100, 10, 1024);
         let reqs = vec![
-            QuotaRequest { id: 1, curve: &hot, acceptable_pages: 100, access_rate: 1000.0 },
-            QuotaRequest { id: 2, curve: &cold, acceptable_pages: 100, access_rate: 1.0 },
+            QuotaRequest {
+                id: 1,
+                curve: &hot,
+                acceptable_pages: 100,
+                access_rate: 1000.0,
+            },
+            QuotaRequest {
+                id: 2,
+                curve: &cold,
+                acceptable_pages: 100,
+                access_rate: 1.0,
+            },
         ];
         // Only 100 pages to give: the hot class must win them.
         let alloc = greedy_allocate(100, 10, &reqs);
@@ -199,8 +245,18 @@ mod tests {
         let a = working_set_curve(500, 100, 1024);
         let b = working_set_curve(700, 100, 1024);
         let reqs = vec![
-            QuotaRequest { id: 1, curve: &a, acceptable_pages: 500, access_rate: 1.0 },
-            QuotaRequest { id: 2, curve: &b, acceptable_pages: 700, access_rate: 1.0 },
+            QuotaRequest {
+                id: 1,
+                curve: &a,
+                acceptable_pages: 500,
+                access_rate: 1.0,
+            },
+            QuotaRequest {
+                id: 2,
+                curve: &b,
+                acceptable_pages: 700,
+                access_rate: 1.0,
+            },
         ];
         let alloc = greedy_allocate(600, 64, &reqs);
         let total: usize = alloc.iter().map(|q| q.pages).sum();

@@ -205,7 +205,9 @@ pub fn detect(
 
         // Fences over this metric's impact distribution.
         let values: Vec<f64> = impacts.iter().map(|&(_, v, _)| v).collect();
-        let Some(q) = quartiles(&values) else { continue };
+        let Some(q) = quartiles(&values) else {
+            continue;
+        };
         let inner = q.fences(config.inner_multiplier);
         let outer = q.fences(config.outer_multiplier);
 
@@ -223,13 +225,17 @@ pub fn detect(
             } else {
                 Direction::Low
             };
-            report.findings.entry(class).or_default().push(OutlierFinding {
-                metric,
-                impact,
-                ratio,
-                severity,
-                direction,
-            });
+            report
+                .findings
+                .entry(class)
+                .or_default()
+                .push(OutlierFinding {
+                    metric,
+                    impact,
+                    ratio,
+                    severity,
+                    direction,
+                });
         }
     }
     report
@@ -242,11 +248,12 @@ pub fn top_k_heavyweight(
     metric: MetricKind,
     k: usize,
 ) -> Vec<ClassId> {
-    let mut ranked: Vec<(ClassId, f64)> = current
-        .iter()
-        .map(|(&c, v)| (c, v[metric]))
-        .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN metrics").then(a.0.cmp(&b.0)));
+    let mut ranked: Vec<(ClassId, f64)> = current.iter().map(|(&c, v)| (c, v[metric])).collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("no NaN metrics")
+            .then(a.0.cmp(&b.0))
+    });
     ranked.into_iter().take(k).map(|(c, _)| c).collect()
 }
 

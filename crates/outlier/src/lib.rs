@@ -25,7 +25,7 @@ pub mod detect;
 pub mod quartiles;
 
 pub use detect::{
-    detect, top_k_heavyweight, Direction, OutlierConfig, OutlierFinding, OutlierReport,
-    Severity, Weighting,
+    detect, top_k_heavyweight, Direction, OutlierConfig, OutlierFinding, OutlierReport, Severity,
+    Weighting,
 };
 pub use quartiles::{quartiles, Fences, Quartiles};

@@ -73,7 +73,10 @@ impl SimDuration {
 
     /// Constructs a duration from fractional seconds (rounds to µs).
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and >= 0"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 
@@ -150,7 +153,10 @@ impl Mul<u64> for SimDuration {
 impl Mul<f64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: f64) -> SimDuration {
-        assert!(rhs >= 0.0 && rhs.is_finite(), "scale must be finite and >= 0");
+        assert!(
+            rhs >= 0.0 && rhs.is_finite(),
+            "scale must be finite and >= 0"
+        );
         SimDuration((self.0 as f64 * rhs).round() as u64)
     }
 }

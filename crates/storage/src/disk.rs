@@ -88,13 +88,7 @@ impl Disk {
     /// Submits a read of `pages` contiguous pages arriving at `now`;
     /// returns FCFS start/completion. `readahead` marks prefetch traffic in
     /// the counters (it queues identically).
-    pub fn read(
-        &mut self,
-        now: SimTime,
-        kind: IoKind,
-        pages: u64,
-        readahead: bool,
-    ) -> Admission {
+    pub fn read(&mut self, now: SimTime, kind: IoKind, pages: u64, readahead: bool) -> Admission {
         let service = self.model.service_time(kind, pages);
         self.counters.requests += 1;
         self.counters.pages += pages;

@@ -49,8 +49,7 @@ impl ClientPool {
     /// The target number of active clients at `t` (noisy).
     pub fn target_clients(&mut self, t: SimTime) -> usize {
         let noise = self.config.load_noise;
-        self.load
-            .noisy_clients_at(t, noise, &mut self.rng)
+        self.load.noisy_clients_at(t, noise, &mut self.rng)
     }
 
     /// The deterministic (noise-free) load at `t`, for plotting Fig. 3(a).

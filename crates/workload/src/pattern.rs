@@ -211,9 +211,7 @@ impl AccessPattern {
             AccessPattern::RecencyScan { scan_pages, .. }
             | AccessPattern::SequentialScan { scan_pages, .. }
             | AccessPattern::CyclicScan { scan_pages, .. } => *scan_pages,
-            AccessPattern::Composite(parts) => {
-                parts.iter().map(|p| p.pages_per_query()).sum()
-            }
+            AccessPattern::Composite(parts) => parts.iter().map(|p| p.pages_per_query()).sum(),
         }
     }
 }
@@ -332,7 +330,11 @@ mod tests {
         let mut r = rng();
         p.generate(&mut r);
         let from_clone: Vec<u64> = q.generate(&mut r).iter().map(|x| x.page_no).collect();
-        assert_eq!(from_clone, vec![0, 1, 2, 3], "clone starts at its own cursor");
+        assert_eq!(
+            from_clone,
+            vec![0, 1, 2, 3],
+            "clone starts at its own cursor"
+        );
     }
 
     #[test]
@@ -369,8 +371,14 @@ mod tests {
     #[test]
     fn prefix_covers_first_component() {
         let p = AccessPattern::Composite(vec![
-            AccessPattern::SequentialScan { space: SpaceId(0), scan_pages: 3 },
-            AccessPattern::SequentialScan { space: SpaceId(1), scan_pages: 5 },
+            AccessPattern::SequentialScan {
+                space: SpaceId(0),
+                scan_pages: 3,
+            },
+            AccessPattern::SequentialScan {
+                space: SpaceId(1),
+                scan_pages: 5,
+            },
         ]);
         let (pages, prefix) = p.generate_with_prefix(&mut rng());
         assert_eq!(pages.len(), 8);
@@ -380,7 +388,11 @@ mod tests {
 
     #[test]
     fn prefix_of_non_composite_is_everything() {
-        let p = AccessPattern::HotSet { space: SpaceId(0), hot_pages: 4, count: 6 };
+        let p = AccessPattern::HotSet {
+            space: SpaceId(0),
+            hot_pages: 4,
+            count: 6,
+        };
         let (pages, prefix) = p.generate_with_prefix(&mut rng());
         assert_eq!(prefix, pages.len());
     }

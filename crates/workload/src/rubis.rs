@@ -74,8 +74,8 @@ impl Default for RubisConfig {
 
 /// Builds the RUBiS workload under the bidding mix.
 pub fn rubis_workload(config: RubisConfig) -> WorkloadSpec {
-    use spaces::*;
     use sizing::*;
+    use spaces::*;
     let us = SimDuration::from_micros;
     let mut classes = vec![
         QueryClassSpec {
@@ -228,7 +228,10 @@ mod tests {
     fn eleven_classes_and_mix() {
         let w = rubis_workload(RubisConfig::default());
         assert_eq!(w.classes.len(), 11);
-        assert_eq!(w.classes[SEARCH_ITEMS_BY_REGION].name, "SearchItemsByRegion");
+        assert_eq!(
+            w.classes[SEARCH_ITEMS_BY_REGION].name,
+            "SearchItemsByRegion"
+        );
         let frac = w.write_fraction();
         assert!((0.10..=0.20).contains(&frac), "write fraction {frac}");
     }

@@ -134,11 +134,26 @@ pub fn hotspot_write_workload(app: AppId, write_ms: u64) -> WorkloadSpec {
         app,
         classes: vec![
             read("Read", "SELECT v FROM t WHERE id = 1", 3, 300),
-            read("ReadJoin", "SELECT * FROM t, u WHERE t.id = u.t_id AND t.id = 2", 5, 500),
-            read("ReadRange", "SELECT * FROM t WHERE k BETWEEN 1 AND 2", 8, 450),
+            read(
+                "ReadJoin",
+                "SELECT * FROM t, u WHERE t.id = u.t_id AND t.id = 2",
+                5,
+                500,
+            ),
+            read(
+                "ReadRange",
+                "SELECT * FROM t WHERE k BETWEEN 1 AND 2",
+                8,
+                450,
+            ),
             read("ReadAgg", "SELECT COUNT(*) FROM t WHERE g = 3", 6, 600),
             read("ReadPoint", "SELECT n FROM counters WHERE id = 4", 1, 200),
-            read("ReadTop", "SELECT * FROM t ORDER BY v DESC LIMIT 10", 4, 400),
+            read(
+                "ReadTop",
+                "SELECT * FROM t ORDER BY v DESC LIMIT 10",
+                4,
+                400,
+            ),
             read("ReadUser", "SELECT * FROM u WHERE id = 5", 2, 250),
             QueryClassSpec {
                 name: "CounterUpdate",

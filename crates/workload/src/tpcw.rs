@@ -110,8 +110,8 @@ impl Default for TpcwConfig {
 /// an `ORDER_LINE` sequential scan when it was dropped. Public so the
 /// Fig. 4 harness can swap the plan mid-run.
 pub fn bestseller_pattern(odate_index: bool) -> AccessPattern {
-    use spaces::*;
     use sizing::*;
+    use spaces::*;
     if odate_index {
         // Index range scan over recent orders, then order-line and item
         // lookups for the top sellers: a large but cacheable working set.
@@ -164,8 +164,8 @@ pub fn bestseller_pattern(odate_index: bool) -> AccessPattern {
 
 /// Builds the TPC-W workload under the shopping mix.
 pub fn tpcw_workload(config: TpcwConfig) -> WorkloadSpec {
-    use spaces::*;
     use sizing::*;
+    use spaces::*;
     let us = SimDuration::from_micros;
     let classes = vec![
         QueryClassSpec {

@@ -44,10 +44,7 @@ fn main() {
         eprintln!("no class named '{class_name}' in {}", workload.name);
         std::process::exit(2);
     };
-    let queries: usize = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let queries: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
 
     let mut rng = SimRng::new(0xC0FFEE);
     let mut tracker = MattsonTracker::new(16_384);

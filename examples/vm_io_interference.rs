@@ -79,9 +79,7 @@ fn main() {
                     println!("    {class}: {:.0}%", share * 100.0);
                 }
             }
-            println!(
-                "  -> removing SearchItemsByRegion from tenant 2 (the paper's remedy)\n"
-            );
+            println!("  -> removing SearchItemsByRegion from tenant 2 (the paper's remedy)\n");
             sim.set_class_weight(tenant2, SEARCH_ITEMS_BY_REGION, 0.0);
             removed = true;
         }

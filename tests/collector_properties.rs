@@ -1,0 +1,118 @@
+//! Property tests for `ClassStatsCollector`: closing an interval must
+//! conserve what was recorded (counts and sums reappear, scaled, in the
+//! report) and must fully reset the accumulator for the next interval.
+
+use odlb::metrics::{AppId, ClassId, ClassStatsCollector, MetricKind, QueryLogRecord};
+use odlb::sim::{SimDuration, SimTime};
+use odlb_testkit::{check, Gen};
+use std::collections::BTreeMap;
+
+fn random_records(g: &mut Gen) -> Vec<QueryLogRecord> {
+    g.vec_of(1, 300, |g| {
+        let accesses = g.u64_in(1, 500);
+        QueryLogRecord {
+            class: ClassId::new(AppId(g.u32_in(0, 3)), g.u32_in(0, 10)),
+            completed_at: SimTime::from_micros(g.u64_in(0, 10_000_000)),
+            latency: SimDuration::from_micros(g.u64_in(100, 2_000_000)),
+            page_accesses: accesses,
+            buffer_misses: g.u64_in(0, accesses + 1),
+            io_requests: g.u64_in(0, accesses + 1),
+            readaheads: g.u64_in(0, 64),
+            lock_wait: SimDuration::from_micros(g.u64_in(0, 50_000)),
+        }
+    })
+}
+
+/// Closing conserves counts: per class, the report's volume metrics equal
+/// the sums of the ingested records, the throughput × duration recovers
+/// the query count, and latency is the per-class mean.
+#[test]
+fn close_interval_conserves_counts() {
+    check("close_interval_conserves_counts", 192, |g| {
+        let records = random_records(g);
+        let end = SimTime::from_secs(g.u64_in(1, 60));
+        let mut collector = ClassStatsCollector::new(SimTime::ZERO);
+        collector.record_batch(&records);
+
+        // Independent ground truth, accumulated the obvious way.
+        #[derive(Default)]
+        struct Expect {
+            queries: u64,
+            latency_sum: f64,
+            accesses: u64,
+            misses: u64,
+            io: u64,
+            readaheads: u64,
+            lock_wait: f64,
+        }
+        let mut expected: BTreeMap<ClassId, Expect> = BTreeMap::new();
+        for r in &records {
+            let e = expected.entry(r.class).or_default();
+            e.queries += 1;
+            e.latency_sum += r.latency.as_secs_f64();
+            e.accesses += r.page_accesses;
+            e.misses += r.buffer_misses;
+            e.io += r.io_requests;
+            e.readaheads += r.readaheads;
+            e.lock_wait += r.lock_wait.as_secs_f64();
+        }
+
+        let report = collector.close_interval(end);
+        assert_eq!(report.per_class.len(), expected.len(), "no class lost");
+        let duration = end.as_secs_f64();
+        for (class, e) in &expected {
+            let v = report.per_class[class];
+            let queries = v[MetricKind::Throughput] * duration;
+            assert!(
+                (queries - e.queries as f64).abs() < 1e-6,
+                "{class}: throughput×duration {} vs {} queries",
+                queries,
+                e.queries
+            );
+            assert!(
+                (v[MetricKind::Latency] - e.latency_sum / e.queries as f64).abs() < 1e-9,
+                "{class}: latency mean"
+            );
+            assert_eq!(v[MetricKind::PageAccesses], e.accesses as f64);
+            assert_eq!(v[MetricKind::BufferMisses], e.misses as f64);
+            assert_eq!(v[MetricKind::IoRequests], e.io as f64);
+            assert_eq!(v[MetricKind::ReadAheads], e.readaheads as f64);
+            assert!((v[MetricKind::LockWaits] - e.lock_wait).abs() < 1e-9);
+        }
+    });
+}
+
+/// Closing resets the accumulator: the next interval starts empty and at
+/// the previous close time, whatever was recorded before.
+#[test]
+fn close_interval_resets_accumulator() {
+    check("close_interval_resets_accumulator", 192, |g| {
+        let records = random_records(g);
+        let first_end = SimTime::from_secs(g.u64_in(1, 30));
+        let second_end = first_end + SimDuration::from_secs(g.u64_in(1, 30));
+        let mut collector = ClassStatsCollector::new(SimTime::ZERO);
+        collector.record_batch(&records);
+        let first = collector.close_interval(first_end);
+        assert!(!first.per_class.is_empty());
+
+        for r in &records {
+            assert_eq!(
+                collector.queries_for(r.class),
+                0,
+                "counts must not survive the close"
+            );
+        }
+        let second = collector.close_interval(second_end);
+        assert!(
+            second.per_class.is_empty(),
+            "nothing recorded, nothing reported"
+        );
+        assert_eq!(second.start, first_end, "next interval opens at the close");
+        assert_eq!(second.end, second_end);
+
+        // Recording after a close starts from zero, not from stale sums.
+        let r = &records[0];
+        collector.record(r);
+        assert_eq!(collector.queries_for(r.class), 1);
+    });
+}

@@ -51,7 +51,10 @@ fn stable_tpcw_meets_sla_and_builds_signatures() {
         .filter(|&&c| {
             controller
                 .stable_store()
-                .get(odlb::core::memory::instance_key(odlb::cluster::InstanceId(0)), c)
+                .get(
+                    odlb::core::memory::instance_key(odlb::cluster::InstanceId(0)),
+                    c,
+                )
                 .is_some_and(|s| s.mrc.is_some())
         })
         .count();

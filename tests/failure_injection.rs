@@ -53,7 +53,10 @@ fn provisioning_with_no_free_server_fails_cleanly() {
         LoadFunction::Constant(5),
     );
     sim.assign_replica(app, i1);
-    assert_eq!(sim.provision_replica(app), Err(ProvisionError::NoFreeServer));
+    assert_eq!(
+        sim.provision_replica(app),
+        Err(ProvisionError::NoFreeServer)
+    );
     // The cluster still runs fine afterwards.
     sim.start();
     let outcome = sim.run_interval();

@@ -141,6 +141,10 @@ fn reads_never_wait() {
     for _ in 0..20 {
         let q = workload.query_of_class(read_idx, &mut rng);
         let r = engine.execute(SimTime::ZERO, &q, &mut cpu, &mut io, DomainId(1));
-        assert_eq!(r.record.lock_wait, SimDuration::ZERO, "MVCC reads don't lock");
+        assert_eq!(
+            r.record.lock_wait,
+            SimDuration::ZERO,
+            "MVCC reads don't lock"
+        );
     }
 }

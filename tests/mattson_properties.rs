@@ -6,36 +6,43 @@ use odlb::bufferpool::LruList;
 use odlb::mrc::mattson::NaiveStack;
 use odlb::mrc::{MattsonTracker, MissRatioCurve};
 use odlb::storage::{PageId, SpaceId};
-use proptest::prelude::*;
+use odlb_testkit::{check, Gen};
 
-fn small_traces() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..64, 1..600)
+fn small_trace(g: &mut Gen) -> Vec<u64> {
+    g.vec_of(1, 600, |g| g.u64_in(0, 64))
 }
 
-fn skewed_traces() -> impl Strategy<Value = Vec<u64>> {
+fn skewed_trace(g: &mut Gen) -> Vec<u64> {
     // Mixture of a hot set and a long tail, closer to real workloads.
-    prop::collection::vec(
-        prop_oneof![3 => 0u64..16, 1 => 0u64..4096],
-        1..600,
-    )
+    g.vec_of(1, 600, |g| {
+        if g.weighted(&[3.0, 1.0]) == 0 {
+            g.u64_in(0, 16)
+        } else {
+            g.u64_in(0, 4096)
+        }
+    })
 }
 
-proptest! {
-    /// The O(log n) tracker must produce exactly the naive stack's
-    /// distances on every trace.
-    #[test]
-    fn fast_tracker_matches_naive(trace in small_traces()) {
+/// The O(log n) tracker must produce exactly the naive stack's
+/// distances on every trace.
+#[test]
+fn fast_tracker_matches_naive() {
+    check("fast_tracker_matches_naive", 256, |g| {
+        let trace = small_trace(g);
         let mut fast = MattsonTracker::new(4096);
         let mut slow = NaiveStack::new();
         for &k in &trace {
-            prop_assert_eq!(fast.access(k), slow.access(k));
+            assert_eq!(fast.access(k), slow.access(k));
         }
-    }
+    });
+}
 
-    /// Miss ratio must be monotone non-increasing in memory size — the
-    /// inclusion property of LRU.
-    #[test]
-    fn miss_ratio_is_monotone(trace in skewed_traces()) {
+/// Miss ratio must be monotone non-increasing in memory size — the
+/// inclusion property of LRU.
+#[test]
+fn miss_ratio_is_monotone() {
+    check("miss_ratio_is_monotone", 256, |g| {
+        let trace = skewed_trace(g);
         let mut tracker = MattsonTracker::new(4096);
         for &k in &trace {
             tracker.access(k);
@@ -44,17 +51,21 @@ proptest! {
         let mut prev = 1.0 + 1e-12;
         for m in (1..=4096).step_by(37) {
             let mr = curve.miss_ratio(m);
-            prop_assert!(mr <= prev + 1e-12, "MR({m}) = {mr} > {prev}");
-            prop_assert!((0.0..=1.0).contains(&mr));
+            assert!(mr <= prev + 1e-12, "MR({m}) = {mr} > {prev}");
+            assert!((0.0..=1.0).contains(&mr));
             prev = mr;
         }
-    }
+    });
+}
 
-    /// The MRC must *predict* an actual LRU pool: for any capacity, a
-    /// touch hits iff the tracked stack distance is within capacity, so
-    /// the measured miss count equals the curve's prediction exactly.
-    #[test]
-    fn curve_predicts_real_lru_pool(trace in skewed_traces(), cap in 1usize..128) {
+/// The MRC must *predict* an actual LRU pool: for any capacity, a
+/// touch hits iff the tracked stack distance is within capacity, so
+/// the measured miss count equals the curve's prediction exactly.
+#[test]
+fn curve_predicts_real_lru_pool() {
+    check("curve_predicts_real_lru_pool", 256, |g| {
+        let trace = skewed_trace(g);
+        let cap = g.usize_in(1, 128);
         let mut tracker = MattsonTracker::new(4096);
         let mut lru = LruList::new(cap);
         let mut real_misses = 0u64;
@@ -68,31 +79,39 @@ proptest! {
         }
         let predicted = tracker.curve().miss_ratio(cap);
         let actual = real_misses as f64 / trace.len() as f64;
-        prop_assert!(
+        assert!(
             (predicted - actual).abs() < 1e-9,
             "cap {cap}: predicted {predicted} vs actual {actual}"
         );
-    }
+    });
+}
 
-    /// Params extraction invariants: acceptable ≤ total ≤ cap, ratios
-    /// ordered, and the acceptable ratio within threshold of ideal.
-    #[test]
-    fn params_invariants(trace in skewed_traces(), threshold in 0.0f64..0.5) {
+/// Params extraction invariants: acceptable ≤ total ≤ cap, ratios
+/// ordered, and the acceptable ratio within threshold of ideal.
+#[test]
+fn params_invariants() {
+    check("params_invariants", 256, |g| {
+        let trace = skewed_trace(g);
+        let threshold = g.f64_in(0.0, 0.5);
         let mut tracker = MattsonTracker::new(2048);
         for &k in &trace {
             tracker.access(k);
         }
         let p = tracker.curve().params(2048, threshold);
-        prop_assert!(p.acceptable_memory_needed <= 2048);
-        prop_assert!(p.total_memory_needed <= 2048);
-        prop_assert!(p.acceptable_memory_needed >= 1);
-        prop_assert!(p.acceptable_miss_ratio + 1e-12 >= p.ideal_miss_ratio);
-        prop_assert!(p.acceptable_miss_ratio <= p.ideal_miss_ratio + threshold + 1e-12);
-    }
+        assert!(p.acceptable_memory_needed <= 2048);
+        assert!(p.total_memory_needed <= 2048);
+        assert!(p.acceptable_memory_needed >= 1);
+        assert!(p.acceptable_miss_ratio + 1e-12 >= p.ideal_miss_ratio);
+        assert!(p.acceptable_miss_ratio <= p.ideal_miss_ratio + threshold + 1e-12);
+    });
+}
 
-    /// Merging two curves equals tracking the concatenated counts.
-    #[test]
-    fn curve_merge_is_additive(a in small_traces(), b in small_traces()) {
+/// Merging two curves equals tracking the concatenated counts.
+#[test]
+fn curve_merge_is_additive() {
+    check("curve_merge_is_additive", 256, |g| {
+        let a = small_trace(g);
+        let b = small_trace(g);
         let run = |t: &[u64]| {
             let mut tr = MattsonTracker::new(256);
             for &k in t {
@@ -102,6 +121,6 @@ proptest! {
         };
         let mut merged: MissRatioCurve = run(&a);
         merged.merge(&run(&b));
-        prop_assert_eq!(merged.total_accesses() as usize, a.len() + b.len());
-    }
+        assert_eq!(merged.total_accesses() as usize, a.len() + b.len());
+    });
 }

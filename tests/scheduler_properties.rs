@@ -2,7 +2,7 @@
 
 use odlb::cluster::{InstanceId, Scheduler};
 use odlb::metrics::{AppId, ClassId};
-use proptest::prelude::*;
+use odlb_testkit::{check, Gen};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -12,29 +12,28 @@ enum Op {
     Unplace(u32),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            2 => (0u32..12).prop_map(Op::Add),
-            1 => (0u32..12).prop_map(Op::Remove),
-            2 => (0u32..8, prop::collection::vec(0u32..12, 0..4))
-                .prop_map(|(class, targets)| Op::Place { class, targets }),
-            1 => (0u32..8).prop_map(Op::Unplace),
-        ],
-        1..120,
-    )
+fn ops(g: &mut Gen) -> Vec<Op> {
+    g.vec_of(1, 120, |g| match g.weighted(&[2.0, 1.0, 2.0, 1.0]) {
+        0 => Op::Add(g.u32_in(0, 12)),
+        1 => Op::Remove(g.u32_in(0, 12)),
+        2 => Op::Place {
+            class: g.u32_in(0, 8),
+            targets: g.vec_of(0, 4, |g| g.u32_in(0, 12)),
+        },
+        _ => Op::Unplace(g.u32_in(0, 8)),
+    })
 }
 
-proptest! {
-    /// After any operation sequence:
-    /// * every class placement is a subset of the live replica set;
-    /// * a write reaches every live replica exactly once;
-    /// * a read goes to a replica in the class's placement.
-    #[test]
-    fn replication_invariants(ops in ops()) {
+/// After any operation sequence:
+/// * every class placement is a subset of the live replica set;
+/// * a write reaches every live replica exactly once;
+/// * a read goes to a replica in the class's placement.
+#[test]
+fn replication_invariants() {
+    check("replication_invariants", 256, |g| {
         let app = AppId(0);
         let mut sched = Scheduler::new(app, vec![InstanceId(0)]);
-        for op in ops {
+        for op in ops(g) {
             match op {
                 Op::Add(i) => sched.add_replica(InstanceId(i)),
                 Op::Remove(i) => sched.remove_replica(InstanceId(i)),
@@ -48,12 +47,12 @@ proptest! {
             let replicas: Vec<InstanceId> = sched.replicas().to_vec();
             for class in sched.pinned_classes() {
                 for inst in sched.placement_of(class) {
-                    prop_assert!(
+                    assert!(
                         replicas.contains(inst),
                         "placement of {class} contains dead {inst}"
                     );
                 }
-                prop_assert!(!sched.placement_of(class).is_empty());
+                assert!(!sched.placement_of(class).is_empty());
             }
 
             let class = ClassId::new(app, 3);
@@ -65,28 +64,29 @@ proptest! {
                     all.dedup();
                     let mut live = replicas.clone();
                     live.sort();
-                    prop_assert_eq!(all, live, "write-all must cover the replica set");
-                    prop_assert!(sched.placement_of(class).contains(&route.primary));
+                    assert_eq!(all, live, "write-all must cover the replica set");
+                    assert!(sched.placement_of(class).contains(&route.primary));
                 }
-                None => prop_assert!(replicas.is_empty()),
+                None => assert!(replicas.is_empty()),
             }
             if let Some(read) = sched.route_read(class, |_| 0) {
-                prop_assert!(sched.placement_of(class).contains(&read));
+                assert!(sched.placement_of(class).contains(&read));
             }
         }
-    }
+    });
+}
 
-    /// The read router picks a minimum-load replica from the placement.
-    #[test]
-    fn read_routing_is_least_loaded(
-        loads in prop::collection::vec(0usize..100, 1..10)
-    ) {
+/// The read router picks a minimum-load replica from the placement.
+#[test]
+fn read_routing_is_least_loaded() {
+    check("read_routing_is_least_loaded", 256, |g| {
+        let loads = g.vec_of(1, 10, |g| g.usize_in(0, 100));
         let app = AppId(0);
         let replicas: Vec<InstanceId> = (0..loads.len() as u32).map(InstanceId).collect();
         let sched = Scheduler::new(app, replicas);
         let class = ClassId::new(app, 0);
         let chosen = sched.route_read(class, |i| loads[i.0 as usize]).unwrap();
         let min = loads.iter().min().unwrap();
-        prop_assert_eq!(loads[chosen.0 as usize], *min);
-    }
+        assert_eq!(loads[chosen.0 as usize], *min);
+    });
 }
