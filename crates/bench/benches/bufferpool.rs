@@ -22,7 +22,7 @@ fn access_trace(n: usize) -> Vec<(ClassId, PageId)> {
 }
 
 fn main() {
-    let mut bench = Bench::from_args();
+    let mut bench = Bench::named("bufferpool");
     let trace = access_trace(100_000);
 
     bench.bench_elements("bufferpool_access/shared_8192", trace.len() as u64, || {

@@ -8,7 +8,7 @@ use odlb_storage::{DiskModel, DomainId, SharedIoPath};
 use odlb_workload::tpcw::{tpcw_workload, TpcwConfig};
 
 fn main() {
-    let mut bench = Bench::from_args();
+    let mut bench = Bench::named("engine");
     let workload = tpcw_workload(TpcwConfig::default());
     let mut rng = SimRng::new(99);
     let queries: Vec<_> = (0..2_000)

@@ -25,7 +25,7 @@ fn trace(n: usize, footprint: u64) -> Vec<u64> {
 }
 
 fn main() {
-    let mut bench = Bench::from_args();
+    let mut bench = Bench::named("mrc");
     for &footprint in &[1_000u64, 10_000, 100_000] {
         let t = trace(100_000, footprint);
         bench.bench_elements(

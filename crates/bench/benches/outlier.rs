@@ -34,7 +34,7 @@ fn population(
 }
 
 fn main() {
-    let mut bench = Bench::from_args();
+    let mut bench = Bench::named("outlier");
     for &n in &[14u32, 50, 200, 1_000] {
         let (current, stable) = population(n);
         bench.bench(&format!("outlier_detect/{n}"), || {

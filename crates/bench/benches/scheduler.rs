@@ -7,7 +7,7 @@ use odlb_engine::TemplateRegistry;
 use odlb_metrics::{AppId, ClassId};
 
 fn main() {
-    let mut bench = Bench::from_args();
+    let mut bench = Bench::named("scheduler");
     for &replicas in &[2usize, 8, 32] {
         let sched = Scheduler::new(AppId(0), (0..replicas as u32).map(InstanceId).collect());
         let class = ClassId::new(AppId(0), 3);

@@ -1,0 +1,89 @@
+//! Microbenchmarks for the telemetry subsystem: histogram record /
+//! quantile / merge cost, labelled-series lookup through the registry,
+//! and — the one the hot-path discipline rests on — the per-query cost
+//! of an *unattached* `Telemetry` handle, which must stay at a branch.
+
+use odlb_bench::harness::{black_box, Bench};
+use odlb_telemetry::{LogLinearHistogram, Telemetry};
+
+/// Deterministic latency-like sample stream: log-uniform-ish values from
+/// a splitmix-style generator, spanning microseconds to seconds.
+fn samples(n: usize) -> Vec<u64> {
+    let mut x: u64 = 0x243F6A8885A308D3;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let magnitude = 1u64 << (x % 21); // 1 .. ~1e6
+            magnitude + (x >> 32) % magnitude.max(1)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut bench = Bench::named("telemetry");
+    let vals = samples(100_000);
+
+    bench.bench_elements("telemetry/histogram_record/100k", vals.len() as u64, || {
+        let mut h = LogLinearHistogram::default();
+        for &v in &vals {
+            h.record(black_box(v));
+        }
+        black_box(h.count())
+    });
+
+    let mut filled = LogLinearHistogram::default();
+    for &v in &vals {
+        filled.record(v);
+    }
+    bench.bench("telemetry/histogram_quantile/p50_p95_p99", || {
+        black_box((
+            filled.quantile(0.5),
+            filled.quantile(0.95),
+            filled.quantile(0.99),
+        ))
+    });
+
+    let mut other = LogLinearHistogram::default();
+    for &v in samples(50_000).iter() {
+        other.record(v * 3 + 1);
+    }
+    bench.bench("telemetry/histogram_merge", || {
+        let mut merged = filled.clone();
+        merged.merge(black_box(&other));
+        black_box(merged.count())
+    });
+
+    let active = Telemetry::attached();
+    bench.bench_elements("telemetry/registry_record/10k", 10_000, || {
+        let h = active
+            .histogram(
+                "odlb_query_latency_us",
+                "Latency.",
+                &[("class", "app0#8"), ("instance", "inst0")],
+            )
+            .unwrap();
+        for &v in vals[..10_000].iter() {
+            h.record(black_box(v));
+        }
+        black_box(())
+    });
+
+    // The guard every emission site uses: with no registry attached the
+    // whole telemetry path must collapse to one branch per query.
+    let inactive = Telemetry::inactive();
+    bench.bench_elements("telemetry/disabled_handle/10k_queries", 10_000, || {
+        let mut recorded = 0u64;
+        for &v in vals[..10_000].iter() {
+            if inactive.is_active() {
+                if let Some(h) = inactive.histogram("odlb_query_latency_us", "Latency.", &[]) {
+                    h.record(v);
+                }
+            } else {
+                recorded += black_box(v) & 1;
+            }
+        }
+        black_box(recorded)
+    });
+}

@@ -1,10 +1,10 @@
 //! The experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig3|fig4|fig5|fig6|table1|table2|table3|
+//! experiments [fig3|fig3-mini|fig4|fig5|fig6|table1|table2|table3|
 //!              ablation-fences|ablation-weights|ablation-coarse|
 //!              ablation-mrc-threshold|ablation-mrc-approx|all]
-//!             [--trace <path>]
+//!             [--trace <path>] [--metrics <dir>]
 //! ```
 //!
 //! The controller-driven figures (fig3, fig4) run with a decision tracer
@@ -12,8 +12,17 @@
 //! canonical event stream — so two runs can be compared at a glance.
 //! `--trace <path>` additionally writes the full event stream as JSONL
 //! (when both figures run, the figure name is suffixed to the path).
+//!
+//! `--metrics <dir>` attaches the runtime telemetry registry to the
+//! controller-driven figures and writes one Prometheus text snapshot
+//! (`<figure>.prom`) and one CSV time series (`<figure>.csv`) per
+//! figure, then prints the controller-overhead report. Metric values
+//! derive only from simulation state, so two same-seed runs write
+//! byte-identical artifacts. `fig3-mini` is a miniature fig3 used by the
+//! CI smoke test.
 
 use odlb_bench::experiments::*;
+use odlb_telemetry::{SharedSpanProfiler, SpanProfiler, Telemetry};
 use odlb_trace::{DigestSink, JsonlSink, Tracer};
 
 /// Builds a tracer for one traced figure: always a digest, plus a JSONL
@@ -51,10 +60,55 @@ fn print_digest(figure: &str, digest: &std::cell::RefCell<DigestSink>) {
     );
 }
 
+/// Builds the telemetry handle and profiler for one figure: attached
+/// when `--metrics` was given, inactive (and therefore free) otherwise.
+fn instrumented(metrics_dir: Option<&str>) -> (Telemetry, Option<SharedSpanProfiler>) {
+    if metrics_dir.is_some() {
+        (Telemetry::attached(), Some(SpanProfiler::shared()))
+    } else {
+        (Telemetry::inactive(), None)
+    }
+}
+
+/// Writes `<dir>/<figure>.prom` and `<dir>/<figure>.csv` and prints the
+/// controller-overhead report. No-op without `--metrics`.
+fn finish_metrics(
+    dir: Option<&str>,
+    figure: &str,
+    telemetry: &Telemetry,
+    profiler: &Option<SharedSpanProfiler>,
+    wall: std::time::Duration,
+) {
+    let Some(dir) = dir else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create metrics dir {dir}: {e}");
+        std::process::exit(1);
+    }
+    let prom_path = std::path::Path::new(dir).join(format!("{figure}.prom"));
+    let csv_path = std::path::Path::new(dir).join(format!("{figure}.csv"));
+    let prom = telemetry.render_prometheus().unwrap_or_default();
+    let csv = telemetry.render_csv().unwrap_or_default();
+    for (path, content) in [(&prom_path, &prom), (&csv_path, &csv)] {
+        if let Err(e) = std::fs::write(path, content) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "metrics: wrote {} and {}",
+        prom_path.display(),
+        csv_path.display()
+    );
+    if let Some(p) = profiler {
+        println!("{}", p.borrow().report(wall));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut arg = String::new();
     let mut trace_path: Option<String> = None;
+    let mut metrics_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--trace" {
@@ -63,6 +117,13 @@ fn main() {
                 std::process::exit(2);
             }
             trace_path = Some(args[i + 1].clone());
+            i += 2;
+        } else if args[i] == "--metrics" {
+            if i + 1 >= args.len() {
+                eprintln!("--metrics requires a directory");
+                std::process::exit(2);
+            }
+            metrics_dir = Some(args[i + 1].clone());
             i += 2;
         } else if arg.is_empty() {
             arg = args[i].clone();
@@ -93,22 +154,57 @@ fn main() {
         banner("Table 1 — buffer pool management algorithms (index dropped)");
         println!("{}", table1::render(&table1::run(3_000)));
     }
-    if all || arg == "fig3" {
+    if all || arg == "fig3" || arg == "fig3-mini" {
         ran = true;
-        banner("Fig. 3 — CPU saturation under sinusoid load");
-        let (tracer, digest) = traced(trace_path.as_deref(), "fig3", all);
-        println!(
-            "{}",
-            fig3::render(&fig3::run_with(tracer, 64, 14, 50, 450, 4))
-        );
-        print_digest("fig3", &digest);
+        let mini = arg == "fig3-mini";
+        let name = if mini { "fig3-mini" } else { "fig3" };
+        banner(if mini {
+            "Fig. 3 (miniature smoke run) — CPU saturation under sinusoid load"
+        } else {
+            "Fig. 3 — CPU saturation under sinusoid load"
+        });
+        let (tracer, digest) = traced(trace_path.as_deref(), name, all);
+        let (telemetry, profiler) = instrumented(metrics_dir.as_deref());
+        let start = std::time::Instant::now();
+        let r = if mini {
+            fig3::run_instrumented(
+                tracer,
+                telemetry.clone(),
+                profiler.clone(),
+                30,
+                10,
+                30,
+                480,
+                3,
+            )
+        } else {
+            fig3::run_instrumented(
+                tracer,
+                telemetry.clone(),
+                profiler.clone(),
+                64,
+                14,
+                50,
+                450,
+                4,
+            )
+        };
+        let wall = start.elapsed();
+        println!("{}", fig3::render(&r));
+        print_digest(name, &digest);
+        finish_metrics(metrics_dir.as_deref(), name, &telemetry, &profiler, wall);
     }
     if all || arg == "fig4" {
         ran = true;
         banner("Fig. 4 — dropping the O_DATE index");
         let (tracer, digest) = traced(trace_path.as_deref(), "fig4", all);
-        println!("{}", fig4::render(&fig4::run_with(tracer, 50, 12, 15)));
+        let (telemetry, profiler) = instrumented(metrics_dir.as_deref());
+        let start = std::time::Instant::now();
+        let r = fig4::run_instrumented(tracer, telemetry.clone(), profiler.clone(), 50, 12, 15);
+        let wall = start.elapsed();
+        println!("{}", fig4::render(&r));
         print_digest("fig4", &digest);
+        finish_metrics(metrics_dir.as_deref(), "fig4", &telemetry, &profiler, wall);
     }
     if all || arg == "table2" {
         ran = true;
@@ -193,7 +289,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment '{arg}'; valid: fig3 fig4 fig5 fig6 table1 table2 table3 \
+            "unknown experiment '{arg}'; valid: fig3 fig3-mini fig4 fig5 fig6 table1 table2 table3 \
              ablation-fences ablation-weights ablation-coarse ablation-mrc-threshold \
              ablation-mrc-approx all"
         );

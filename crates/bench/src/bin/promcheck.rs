@@ -1,0 +1,57 @@
+//! Validates telemetry artifacts written by `experiments --metrics`.
+//!
+//! ```text
+//! promcheck <file.prom|file.csv> [more files ...]
+//! ```
+//!
+//! `.prom` files are checked against the Prometheus text exposition
+//! rules (every sample preceded by `# HELP`/`# TYPE`, parseable finite
+//! values, integral non-negative counters, strictly increasing `le`
+//! bucket bounds with non-decreasing cumulative counts, `+Inf` equal to
+//! `_count`). `.csv` files are checked for the long-format header, field
+//! count, non-decreasing timestamps and per-series monotone counters.
+//! Exits non-zero on the first invalid file, so CI can gate on it.
+
+use odlb_telemetry::{validate_csv, validate_prometheus};
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: promcheck <file.prom|file.csv> [more files ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        let content = match std::fs::read_to_string(file) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        if file.ends_with(".csv") {
+            match validate_csv(&content) {
+                Ok(rows) => println!("{file}: ok ({rows} rows)"),
+                Err(e) => {
+                    eprintln!("{file}: INVALID: {e}");
+                    failed = true;
+                }
+            }
+        } else {
+            match validate_prometheus(&content) {
+                Ok(stats) => println!(
+                    "{file}: ok ({} families, {} samples, {} histograms)",
+                    stats.families, stats.samples, stats.histograms
+                ),
+                Err(e) => {
+                    eprintln!("{file}: INVALID: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

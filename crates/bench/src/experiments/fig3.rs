@@ -18,6 +18,7 @@ use odlb_engine::EngineConfig;
 use odlb_metrics::Sla;
 use odlb_sim::SimDuration;
 use odlb_storage::DomainId;
+use odlb_telemetry::{SharedSpanProfiler, Telemetry};
 use odlb_trace::Tracer;
 use odlb_workload::tpcw::{tpcw_workload, TpcwConfig};
 use odlb_workload::{ClientConfig, LoadFunction, WorkloadSpec};
@@ -95,6 +96,33 @@ pub fn run_with(
     max_clients: usize,
     servers: usize,
 ) -> Fig3Result {
+    run_instrumented(
+        tracer,
+        Telemetry::inactive(),
+        None,
+        intervals,
+        warmup_intervals,
+        min_clients,
+        max_clients,
+        servers,
+    )
+}
+
+/// [`run_with`] plus runtime telemetry: the metrics registry is attached
+/// to the driver and controller, and the optional profiler times the
+/// controller phases. Telemetry is observation-only — the result and run
+/// digest are identical to an uninstrumented run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_instrumented(
+    tracer: Tracer,
+    telemetry: Telemetry,
+    profiler: Option<SharedSpanProfiler>,
+    intervals: usize,
+    warmup_intervals: usize,
+    min_clients: usize,
+    max_clients: usize,
+    servers: usize,
+) -> Fig3Result {
     let mut sim = Simulation::new(SimulationConfig {
         seed: 3_2007,
         ..Default::default()
@@ -127,10 +155,19 @@ pub fn run_with(
     );
     sim.assign_replica(app, inst);
     sim.set_tracer(tracer.clone());
+    if telemetry.is_active() {
+        sim.set_telemetry(telemetry.clone());
+    }
     sim.start();
 
     let mut controller = SelectiveRetuningController::new(ControllerConfig::default());
     controller.set_tracer(tracer.clone());
+    if telemetry.is_active() {
+        controller.set_telemetry(telemetry.clone());
+    }
+    if let Some(profiler) = profiler {
+        controller.set_profiler(profiler);
+    }
     let mut result = Fig3Result {
         load: Vec::new(),
         machines: Vec::new(),

@@ -20,6 +20,7 @@ use odlb_core::{Action, ClusterController, ControllerConfig, SelectiveRetuningCo
 use odlb_engine::EngineConfig;
 use odlb_metrics::{MetricKind, Sla};
 use odlb_storage::DomainId;
+use odlb_telemetry::{SharedSpanProfiler, Telemetry};
 use odlb_trace::Tracer;
 use odlb_workload::tpcw::{bestseller_pattern, tpcw_workload, TpcwConfig, BESTSELLER};
 use odlb_workload::{ClientConfig, LoadFunction};
@@ -64,6 +65,28 @@ pub fn run_with(
     stable_intervals: usize,
     recovery_intervals: usize,
 ) -> Fig4Result {
+    run_instrumented(
+        tracer,
+        Telemetry::inactive(),
+        None,
+        clients,
+        stable_intervals,
+        recovery_intervals,
+    )
+}
+
+/// [`run_with`] plus runtime telemetry: the metrics registry is attached
+/// to the driver and controller, and the optional profiler times the
+/// controller phases. Telemetry is observation-only — the result and run
+/// digest are identical to an uninstrumented run.
+pub fn run_instrumented(
+    tracer: Tracer,
+    telemetry: Telemetry,
+    profiler: Option<SharedSpanProfiler>,
+    clients: usize,
+    stable_intervals: usize,
+    recovery_intervals: usize,
+) -> Fig4Result {
     let mut sim = Simulation::new(SimulationConfig {
         seed: 4_2007,
         ..Default::default()
@@ -78,10 +101,19 @@ pub fn run_with(
     );
     sim.assign_replica(app, inst);
     sim.set_tracer(tracer.clone());
+    if telemetry.is_active() {
+        sim.set_telemetry(telemetry.clone());
+    }
     sim.start();
 
     let mut controller = SelectiveRetuningController::new(ControllerConfig::default());
     controller.set_tracer(tracer.clone());
+    if telemetry.is_active() {
+        controller.set_telemetry(telemetry.clone());
+    }
+    if let Some(profiler) = profiler {
+        controller.set_profiler(profiler);
+    }
     let mut latency_before = f64::NAN;
     let mut stable_metrics: BTreeMap<u32, [f64; 4]> = BTreeMap::new();
     for _ in 0..stable_intervals {

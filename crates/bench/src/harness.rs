@@ -7,6 +7,11 @@
 //! beyond that — these benches guard order-of-magnitude regressions and
 //! the relative ranking of implementations (e.g. exact Mattson vs the
 //! bucketed approximation), not microsecond deltas.
+//!
+//! A runner built with [`Bench::named`] additionally writes
+//! `BENCH_<target>.json` into the working directory when it is dropped:
+//! one record per benchmark with mean/min ns per op, so runs can be
+//! diffed mechanically across commits.
 
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -16,11 +21,23 @@ const TARGET: Duration = Duration::from_millis(200);
 /// Iteration-count cap, so very slow benches still terminate promptly.
 const MAX_ITERS: u32 = 1_000;
 
+/// One measured benchmark, kept for the JSON report.
+#[derive(Clone, Debug)]
+struct BenchResult {
+    name: String,
+    mean_ns: u128,
+    min_ns: u128,
+    iters: u32,
+    elements: u64,
+}
+
 /// One bench target's runner: takes an optional substring filter from the
 /// command line (cargo passes extra args through) and times every
 /// matching benchmark.
 pub struct Bench {
     filter: Option<String>,
+    target: Option<String>,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Bench {
@@ -35,7 +52,19 @@ impl Bench {
     /// cargo forwards are ignored).
     pub fn from_args() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Bench { filter }
+        Bench {
+            filter,
+            target: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// [`Bench::from_args`] plus a target name: on drop the runner
+    /// writes `BENCH_<target>.json` with every measured benchmark.
+    pub fn named(target: &str) -> Self {
+        let mut bench = Bench::from_args();
+        bench.target = Some(target.to_string());
+        bench
     }
 
     /// Times `f`, printing mean and min per-iteration wall time.
@@ -77,7 +106,60 @@ impl Bench {
             line.push_str(&format!("  {:.2e} elems/s", rate));
         }
         println!("{line}");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            mean_ns: mean.as_nanos(),
+            min_ns: min.as_nanos(),
+            iters,
+            elements,
+        });
     }
+
+    /// The JSON report for the measured benchmarks (what a named runner
+    /// writes on drop).
+    pub fn json_report(&self) -> String {
+        let target = self.target.as_deref().unwrap_or("bench");
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"target\": \"{}\",\n", escape_json(target)));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ns_per_op\": {}, \"min_ns_per_op\": {}, \
+                 \"iters\": {}, \"elements\": {}}}{}\n",
+                escape_json(&r.name),
+                r.mean_ns,
+                r.min_ns,
+                r.iters,
+                r.elements,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl Drop for Bench {
+    fn drop(&mut self) {
+        let Some(target) = &self.target else { return };
+        let path = format!("BENCH_{target}.json");
+        if let Err(e) = std::fs::write(&path, self.json_report()) {
+            eprintln!("cannot write {path}: {e}");
+        } else {
+            println!("wrote {path} ({} benchmarks)", self.results.len());
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn format_duration(d: Duration) -> String {
@@ -101,6 +183,8 @@ mod tests {
     fn bench_runs_and_respects_filter() {
         let mut b = Bench {
             filter: Some("match".to_string()),
+            target: None,
+            results: Vec::new(),
         };
         let mut matched = 0u32;
         let mut filtered = 0u32;
@@ -108,6 +192,30 @@ mod tests {
         b.bench("other", || filtered += 1);
         assert!(matched > 0, "matching bench must run");
         assert_eq!(filtered, 0, "non-matching bench must be skipped");
+    }
+
+    #[test]
+    fn json_report_lists_measured_benches() {
+        let mut b = Bench {
+            filter: None,
+            target: Some("unit_test".to_string()),
+            results: Vec::new(),
+        };
+        b.bench("alpha", || 1 + 1);
+        b.bench_elements("beta", 10, || 2 + 2);
+        let json = b.json_report();
+        assert!(json.contains("\"target\": \"unit_test\""));
+        assert!(json.contains("\"name\": \"alpha\""));
+        assert!(json.contains("\"name\": \"beta\""));
+        assert!(json.contains("\"ns_per_op\""));
+        // Keep the drop from writing a file during tests.
+        b.target = None;
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\u000ay");
     }
 
     #[test]

@@ -52,6 +52,10 @@ impl ClassCounters {
 pub struct BufferPool {
     lru: LruList,
     counters: HashMap<ClassId, ClassCounters>,
+    /// Lifetime pages evicted by capacity pressure. Unlike the per-class
+    /// counters this is never drained or moved, so it can back a monotone
+    /// telemetry counter.
+    evictions: u64,
 }
 
 impl BufferPool {
@@ -60,6 +64,7 @@ impl BufferPool {
         BufferPool {
             lru: LruList::new(capacity_pages),
             counters: HashMap::new(),
+            evictions: 0,
         }
     }
 
@@ -83,7 +88,9 @@ impl BufferPool {
             AccessOutcome::Hit
         } else {
             c.misses += 1;
-            self.lru.insert(page);
+            if self.lru.insert(page).is_some() {
+                self.evictions += 1;
+            }
             AccessOutcome::Miss
         }
     }
@@ -96,7 +103,9 @@ impl BufferPool {
         let mut installed = 0;
         for page in pages {
             if !self.lru.contains(page) {
-                self.lru.insert(page);
+                if self.lru.insert(page).is_some() {
+                    self.evictions += 1;
+                }
                 installed += 1;
             }
         }
@@ -154,8 +163,16 @@ impl BufferPool {
     /// replica provisioning ("warming up the buffer pool", §3.3.2).
     pub fn preload(&mut self, pages: impl IntoIterator<Item = PageId>) {
         for page in pages {
-            self.lru.insert(page);
+            if self.lru.insert(page).is_some() {
+                self.evictions += 1;
+            }
         }
+    }
+
+    /// Lifetime pages evicted by capacity pressure (monotone; survives
+    /// counter drains and resets).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -240,6 +257,19 @@ mod tests {
         assert_eq!(drained[&class(1)].misses, 1);
         assert_eq!(p.class_counters(class(1)), ClassCounters::default());
         assert!(p.contains(pid(1)), "pages survive interval close");
+    }
+
+    #[test]
+    fn evictions_counter_survives_drain() {
+        let mut p = BufferPool::new(2);
+        p.access(class(1), pid(1));
+        p.access(class(1), pid(2));
+        assert_eq!(p.evictions(), 0);
+        p.access(class(1), pid(3)); // evicts 1
+        p.prefetch(class(1), [pid(4)]); // evicts 2
+        assert_eq!(p.evictions(), 2);
+        p.drain_counters();
+        assert_eq!(p.evictions(), 2, "lifetime counter is never drained");
     }
 
     #[test]

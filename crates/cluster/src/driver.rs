@@ -19,6 +19,7 @@ use odlb_metrics::{AppId, ClassId, IntervalReport, QueryLogRecord, ServerId, Sla
 use odlb_mrc::MissRatioCurve;
 use odlb_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use odlb_storage::{DiskModel, DomainId, SharedIoPath};
+use odlb_telemetry::Telemetry;
 use odlb_trace::{TraceEvent, Tracer};
 use odlb_workload::{ClientConfig, ClientPool, LoadFunction, WorkloadSpec};
 use std::collections::BTreeMap;
@@ -145,6 +146,7 @@ pub struct Simulation {
     last_tick: SimTime,
     started: bool,
     tracer: Tracer,
+    telemetry: Telemetry,
     interval_seq: u64,
 }
 
@@ -161,6 +163,7 @@ impl Simulation {
             last_tick: SimTime::ZERO,
             started: false,
             tracer: Tracer::new(),
+            telemetry: Telemetry::inactive(),
             interval_seq: 0,
         }
     }
@@ -171,6 +174,19 @@ impl Simulation {
     /// tracer emits the diagnosis and action events in between.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Installs a telemetry handle. Every existing and future instance's
+    /// engine emits per-class series labelled with its instance id; the
+    /// driver adds per-instance queue depths, per-app latency/throughput/
+    /// client gauges, per-server utilisation and I/O counters, and records
+    /// one registry snapshot per closed measurement interval.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+        for (i, inst) in self.instances.iter_mut().enumerate() {
+            inst.engine
+                .set_telemetry(self.telemetry.clone(), &InstanceId(i as u32).to_string());
+        }
     }
 
     /// The current simulation time.
@@ -206,15 +222,20 @@ impl Simulation {
         engine: EngineConfig,
     ) -> InstanceId {
         assert!((server.0 as usize) < self.servers.len(), "unknown server");
+        let id = InstanceId(self.instances.len() as u32);
+        let mut engine = DbEngine::new(engine, self.now);
+        if self.telemetry.is_active() {
+            engine.set_telemetry(self.telemetry.clone(), &id.to_string());
+        }
         self.instances.push(InstanceState {
             server: server.0 as usize,
             domain,
-            engine: DbEngine::new(engine, self.now),
+            engine,
             outstanding: 0,
             ready: true,
             retired: false,
         });
-        InstanceId((self.instances.len() - 1) as u32)
+        id
     }
 
     /// Registers an application with its SLA, client behaviour and load.
@@ -291,10 +312,17 @@ impl Simulation {
             .first()
             .map(|i| self.instances[i.0 as usize].engine.config())
             .unwrap_or_default();
+        let mut engine = DbEngine::new(engine_config, self.now);
+        if self.telemetry.is_active() {
+            engine.set_telemetry(
+                self.telemetry.clone(),
+                &InstanceId(self.instances.len() as u32).to_string(),
+            );
+        }
         self.instances.push(InstanceState {
             server: candidate,
             domain: DomainId(1),
-            engine: DbEngine::new(engine_config, self.now),
+            engine,
             outstanding: 0,
             ready: false,
             retired: false,
@@ -542,7 +570,7 @@ impl Simulation {
             app_throughput.insert(id, tput);
             sla.insert(id, app.sla.evaluate(mean_latency, had_load));
         }
-        let servers = self
+        let servers: Vec<ServerSnapshot> = self
             .servers
             .iter_mut()
             .enumerate()
@@ -553,6 +581,9 @@ impl Simulation {
             })
             .collect();
         let start = end.saturating_start(self.config.measurement_interval);
+        if self.telemetry.is_active() {
+            self.export_interval_telemetry(end, &app_latency, &app_throughput, &sla, &servers);
+        }
         if self.tracer.is_active() {
             self.tracer.emit(TraceEvent::IntervalClosed {
                 seq: self.interval_seq,
@@ -581,6 +612,91 @@ impl Simulation {
             sla,
             servers,
         }
+    }
+
+    /// Cluster-level export at interval close: queue depths, per-app
+    /// aggregates, per-server utilisation and I/O counters — then one
+    /// registry snapshot stamped with the interval end, so the CSV time
+    /// series aligns with the controller's decision points.
+    fn export_interval_telemetry(
+        &mut self,
+        end: SimTime,
+        app_latency: &BTreeMap<AppId, Option<f64>>,
+        app_throughput: &BTreeMap<AppId, f64>,
+        sla: &BTreeMap<AppId, SlaOutcome>,
+        servers: &[ServerSnapshot],
+    ) {
+        let t = &self.telemetry;
+        for (i, inst) in self.instances.iter().enumerate() {
+            let instance = InstanceId(i as u32).to_string();
+            let labels = [("instance", instance.as_str())];
+            if let Some(g) = t.gauge(
+                "odlb_instance_queue_depth",
+                "Outstanding queries on a database instance.",
+                &labels,
+            ) {
+                g.set(inst.outstanding as f64);
+            }
+            if let Some(g) = t.gauge(
+                "odlb_instance_ready",
+                "Whether an instance is serving traffic (1) or provisioning/retired (0).",
+                &labels,
+            ) {
+                g.set(if inst.ready { 1.0 } else { 0.0 });
+            }
+        }
+        for app in &self.apps {
+            let id = app.spec.app.to_string();
+            let labels = [("app", id.as_str())];
+            if let Some(latency) = app_latency[&app.spec.app] {
+                if let Some(g) = t.gauge(
+                    "odlb_app_latency_seconds",
+                    "Mean query latency over the closed interval.",
+                    &labels,
+                ) {
+                    g.set(latency);
+                }
+            }
+            if let Some(g) = t.gauge(
+                "odlb_app_throughput_qps",
+                "Queries per second over the closed interval.",
+                &labels,
+            ) {
+                g.set(app_throughput[&app.spec.app]);
+            }
+            if let Some(g) = t.gauge("odlb_app_clients", "Active closed-loop clients.", &labels) {
+                g.set(app.active_clients as f64);
+            }
+            if let Some(c) = t.counter(
+                "odlb_sla_violations_total",
+                "Measurement intervals that violated the application's SLA.",
+                &labels,
+            ) {
+                if sla[&app.spec.app].is_violation() {
+                    c.inc();
+                }
+            }
+        }
+        for (i, (state, snap)) in self.servers.iter().zip(servers).enumerate() {
+            let server = ServerId(i as u32).to_string();
+            let labels = [("server", server.as_str())];
+            if let Some(g) = t.gauge(
+                "odlb_server_cpu_utilisation",
+                "CPU utilisation over the closed interval (0-1).",
+                &labels,
+            ) {
+                g.set(snap.cpu_utilisation);
+            }
+            if let Some(g) = t.gauge(
+                "odlb_server_io_utilisation",
+                "Domain-0 disk utilisation over the closed interval (0-1).",
+                &labels,
+            ) {
+                g.set(snap.io_utilisation);
+            }
+            state.io.export_telemetry(t, &server);
+        }
+        t.snapshot(end.as_micros());
     }
 
     fn handle(&mut self, now: SimTime, event: Event) {
@@ -981,6 +1097,44 @@ mod tests {
             "retired replica serves nothing"
         );
         assert!(outcome.reports[&i1].app_throughput(app) > 0.0);
+    }
+
+    #[test]
+    fn telemetry_snapshots_align_with_intervals() {
+        let (mut sim, app) = small_sim(8);
+        let t = odlb_telemetry::Telemetry::attached();
+        sim.set_telemetry(t.clone());
+        for _ in 0..3 {
+            sim.run_interval();
+        }
+        let prom = t.render_prometheus().unwrap();
+        odlb_telemetry::validate_prometheus(&prom).expect("valid exposition");
+        assert!(prom.contains(&format!("odlb_app_throughput_qps{{app=\"{app}\"}}")));
+        assert!(prom.contains("odlb_instance_queue_depth{instance=\"inst0\"}"));
+        assert!(prom.contains("odlb_server_cpu_utilisation{server=\"srv0\"}"));
+        assert!(prom.contains("odlb_io_requests_total{domain=\"1\",machine=\"srv0\"}"));
+        let csv = t.render_csv().unwrap();
+        odlb_telemetry::validate_csv(&csv).expect("valid csv");
+        let snaps = t.with_registry(|r| r.snapshots().len()).unwrap();
+        assert_eq!(snaps, 3, "one snapshot per closed interval");
+        assert!(csv.contains("10.000000,"));
+        assert!(csv.contains("30.000000,"));
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_results() {
+        let run = |attach: bool| {
+            let (mut sim, app) = small_sim(8);
+            if attach {
+                sim.set_telemetry(odlb_telemetry::Telemetry::attached());
+            }
+            for _ in 0..3 {
+                sim.run_interval();
+            }
+            let o = sim.run_interval();
+            (o.app_throughput[&app], o.app_latency[&app])
+        };
+        assert_eq!(run(false), run(true), "telemetry must be observation-only");
     }
 
     #[test]

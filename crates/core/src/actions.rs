@@ -102,6 +102,23 @@ pub enum Action {
 }
 
 impl Action {
+    /// A stable kebab-case label for telemetry counters
+    /// (`odlb_controller_actions_total{action="..."}`).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Action::DetectedOutliers { .. } => "detected-outliers",
+            Action::RecomputedMrc { .. } => "recomputed-mrc",
+            Action::SetQuota { .. } => "set-quota",
+            Action::PlacedClass { .. } => "placed-class",
+            Action::ProvisionedReplica { .. } => "provisioned-replica",
+            Action::RetiredReplica { .. } => "retired-replica",
+            Action::CoarseFallback { .. } => "coarse-fallback",
+            Action::DetectedLockContention { .. } => "detected-lock-contention",
+            Action::MigratedVm { .. } => "migrated-vm",
+            Action::MovedIoHeavyClass { .. } => "moved-io-heavy-class",
+        }
+    }
+
     /// Maps this action to its decision-trace event at interval end
     /// `end_us`. MRC recomputations become first-class `mrc_validation`
     /// events; everything else becomes an `action_applied` record whose
@@ -208,6 +225,24 @@ pub fn emit_actions(tracer: &Tracer, end_us: u64, actions: &[Action]) {
     }
     for action in actions {
         tracer.emit(action.to_trace_event(end_us));
+    }
+}
+
+/// Counts applied actions by kind into a telemetry registry (no-op when
+/// `telemetry` is inactive). Controllers call this alongside
+/// [`emit_actions`] so the metrics and trace streams stay in step.
+pub fn count_actions(telemetry: &odlb_telemetry::Telemetry, actions: &[Action]) {
+    if !telemetry.is_active() {
+        return;
+    }
+    for action in actions {
+        if let Some(c) = telemetry.counter(
+            "odlb_controller_actions_total",
+            "Controller actions applied or diagnoses surfaced, by kind.",
+            &[("action", action.kind_label())],
+        ) {
+            c.inc();
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! The selective retuning controller — the paper's §3 algorithm as a
 //! per-interval control loop over the simulated cluster.
 
-use crate::actions::{emit_actions, Action};
+use crate::actions::{count_actions, emit_actions, Action};
 use crate::config::ControllerConfig;
 use crate::memory::{
     find_problem_classes, instance_key, pick_replacement_target, plan_memory_action, MemoryPlan,
@@ -9,6 +9,7 @@ use crate::memory::{
 use odlb_cluster::{InstanceId, IntervalOutcome, Simulation};
 use odlb_metrics::{AppId, ClassId, MetricKind, StableStateStore};
 use odlb_outlier::{detect, top_k_heavyweight, Severity};
+use odlb_telemetry::{profile_span, SharedSpanProfiler, Telemetry};
 use odlb_trace::{TraceEvent, Tracer};
 use std::collections::HashMap;
 
@@ -21,6 +22,15 @@ pub trait ClusterController {
     /// to the [`Simulation`]). Controllers that emit nothing may keep the
     /// default no-op.
     fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Installs a telemetry handle (usually a clone of the one given to
+    /// the [`Simulation`]) for action counters. Default no-op.
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
+
+    /// Installs a span profiler timing the controller's phases
+    /// (collection, outlier detection, MRC update, action selection).
+    /// Default no-op.
+    fn set_profiler(&mut self, _profiler: SharedSpanProfiler) {}
 }
 
 /// The paper's controller: stable-state tracking, outlier-driven
@@ -36,6 +46,8 @@ pub struct SelectiveRetuningController {
     /// Whole-app isolations waiting for their replica.
     pending_isolations: Vec<(AppId, InstanceId)>,
     tracer: Tracer,
+    telemetry: Telemetry,
+    profiler: Option<SharedSpanProfiler>,
 }
 
 impl SelectiveRetuningController {
@@ -49,6 +61,8 @@ impl SelectiveRetuningController {
             pending_placements: Vec::new(),
             pending_isolations: Vec::new(),
             tracer: Tracer::new(),
+            telemetry: Telemetry::inactive(),
+            profiler: None,
         }
     }
 
@@ -233,6 +247,7 @@ impl SelectiveRetuningController {
 
         // (b) Per-instance outlier diagnosis over ALL classes scheduled
         // there (interference can come from another application).
+        let profiler = self.profiler.clone();
         for inst in sim.replicas_of(app) {
             let Some(report) = outcome.reports.get(&inst) else {
                 continue;
@@ -252,8 +267,10 @@ impl SelectiveRetuningController {
             if !any_baseline {
                 continue;
             }
-            let detection = detect(&self.config.outlier, &report.per_class, |c| {
-                self.stable.get(key, c).map(|s| s.metrics)
+            let detection = profile_span(&profiler, "outlier_detection", || {
+                detect(&self.config.outlier, &report.per_class, |c| {
+                    self.stable.get(key, c).map(|s| s.metrics)
+                })
             });
             if !detection.is_empty() {
                 actions.push(Action::DetectedOutliers {
@@ -324,14 +341,16 @@ impl SelectiveRetuningController {
                     self.config.top_k,
                 );
             }
-            let (problems, examined) = find_problem_classes(
-                sim,
-                inst,
-                &suspects,
-                &mut self.stable,
-                &self.config,
-                outcome.end,
-            );
+            let (problems, examined) = profile_span(&profiler, "mrc_update", || {
+                find_problem_classes(
+                    sim,
+                    inst,
+                    &suspects,
+                    &mut self.stable,
+                    &self.config,
+                    outcome.end,
+                )
+            });
             for (class, params, changed) in examined {
                 actions.push(Action::RecomputedMrc {
                     instance: inst,
@@ -340,7 +359,9 @@ impl SelectiveRetuningController {
                     changed,
                 });
             }
-            match plan_memory_action(sim, inst, report, &problems, &self.config) {
+            match profile_span(&profiler, "action_selection", || {
+                plan_memory_action(sim, inst, report, &problems, &self.config)
+            }) {
                 MemoryPlan::Quotas(quotas) => {
                     for (class, pages) in quotas {
                         // Re-quota: drop any existing partition first.
@@ -462,9 +483,12 @@ impl SelectiveRetuningController {
 impl ClusterController for SelectiveRetuningController {
     fn on_interval(&mut self, sim: &mut Simulation, outcome: &IntervalOutcome) -> Vec<Action> {
         let mut actions = Vec::new();
-        self.complete_pending(sim, &mut actions);
-        self.record_stable_states(outcome);
-        self.ensure_initial_mrcs(sim, outcome);
+        let profiler = self.profiler.clone();
+        profile_span(&profiler, "collection", || {
+            self.complete_pending(sim, &mut actions);
+            self.record_stable_states(outcome);
+            self.ensure_initial_mrcs(sim, outcome);
+        });
 
         for c in self.cooldown.values_mut() {
             *c = c.saturating_sub(1);
@@ -501,11 +525,20 @@ impl ClusterController for SelectiveRetuningController {
             }
         }
         emit_actions(&self.tracer, outcome.end.as_micros(), &actions);
+        count_actions(&self.telemetry, &actions);
         actions
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn set_profiler(&mut self, profiler: SharedSpanProfiler) {
+        self.profiler = Some(profiler);
     }
 }
 

@@ -10,6 +10,9 @@ use odlb_metrics::{
 use odlb_mrc::MissRatioCurve;
 use odlb_sim::{SimTime, Station};
 use odlb_storage::{DomainId, IoKind, ReadAheadDetector, SharedIoPath, EXTENT_PAGES};
+use odlb_telemetry::Telemetry;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 /// Engine parameters.
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +47,18 @@ pub struct ExecutionResult {
     pub record: QueryLogRecord,
 }
 
+/// Cached per-class telemetry handles: the hot path pays the registry
+/// lookup once per class, then records through shared `Rc` handles.
+#[derive(Clone, Debug)]
+struct ClassSeries {
+    latency: odlb_telemetry::Histogram,
+    queries: odlb_telemetry::Counter,
+    page_accesses: odlb_telemetry::Counter,
+    buffer_misses: odlb_telemetry::Counter,
+    io_requests: odlb_telemetry::Counter,
+    readaheads: odlb_telemetry::Counter,
+}
+
 /// One simulated database engine (one MySQL instance in the paper).
 #[derive(Clone, Debug)]
 pub struct DbEngine {
@@ -54,6 +69,9 @@ pub struct DbEngine {
     logbuf: PrivateLogBuffer,
     collector: ClassStatsCollector,
     locks: LockManager,
+    telemetry: Telemetry,
+    instance_label: String,
+    series: HashMap<ClassId, ClassSeries>,
 }
 
 impl DbEngine {
@@ -67,7 +85,18 @@ impl DbEngine {
             collector: ClassStatsCollector::new(now),
             locks: LockManager::new(),
             config,
+            telemetry: Telemetry::inactive(),
+            instance_label: String::new(),
+            series: HashMap::new(),
         }
+    }
+
+    /// Attaches a telemetry handle; `instance` labels every series this
+    /// engine emits. Inactive handles cost one branch per commit.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, instance: &str) {
+        self.telemetry = telemetry;
+        self.instance_label = instance.to_string();
+        self.series.clear();
     }
 
     /// The engine's configuration.
@@ -154,9 +183,62 @@ impl DbEngine {
     /// into the per-class collector (call when the completion event fires,
     /// so interval accounting matches completion times).
     pub fn commit_record(&mut self, record: QueryLogRecord) {
+        if self.telemetry.is_active() {
+            self.record_telemetry(&record);
+        }
         if let Some(batch) = self.logbuf.log(record) {
             self.collector.record_batch(&batch);
         }
+    }
+
+    /// Records one completed query into the attached registry. Only
+    /// reached when telemetry is active; the first record of each class
+    /// registers its series, later ones reuse the cached handles.
+    fn record_telemetry(&mut self, record: &QueryLogRecord) {
+        let series = match self.series.entry(record.class) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                let class = record.class.to_string();
+                let labels = [
+                    ("class", class.as_str()),
+                    ("instance", self.instance_label.as_str()),
+                ];
+                let t = &self.telemetry;
+                let counter = |name, help| t.counter(name, help, &labels).expect("active");
+                e.insert(ClassSeries {
+                    latency: t
+                        .histogram(
+                            "odlb_query_latency_us",
+                            "Per-query latency by class (simulated microseconds).",
+                            &labels,
+                        )
+                        .expect("active"),
+                    queries: counter("odlb_queries_total", "Queries completed."),
+                    page_accesses: counter(
+                        "odlb_page_accesses_total",
+                        "Buffer-pool page accesses.",
+                    ),
+                    buffer_misses: counter(
+                        "odlb_buffer_misses_total",
+                        "Page accesses that required a disk read.",
+                    ),
+                    io_requests: counter(
+                        "odlb_query_io_requests_total",
+                        "Disk requests issued on behalf of queries.",
+                    ),
+                    readaheads: counter(
+                        "odlb_readaheads_total",
+                        "Read-ahead extents triggered by queries.",
+                    ),
+                })
+            }
+        };
+        series.latency.record(record.latency.as_micros());
+        series.queries.inc();
+        series.page_accesses.add(record.page_accesses);
+        series.buffer_misses.add(record.buffer_misses);
+        series.io_requests.add(record.io_requests);
+        series.readaheads.add(record.readaheads);
     }
 
     /// Closes the current measurement interval: flushes the log buffer and
@@ -165,6 +247,10 @@ impl DbEngine {
         let remainder = self.logbuf.flush();
         self.collector.record_batch(&remainder);
         self.locks.gc(now);
+        if self.telemetry.is_active() {
+            self.pool
+                .export_telemetry(&self.telemetry, &self.instance_label);
+        }
         self.collector.close_interval(now)
     }
 
@@ -364,6 +450,26 @@ mod tests {
         eng.forget_class(class(1));
         assert!(eng.recompute_mrc(class(1), 64).is_none());
         assert_eq!(eng.quota_of(class(1)), None);
+    }
+
+    #[test]
+    fn telemetry_records_per_class_latency_and_counters() {
+        let (mut eng, mut cpu, mut io) = rig();
+        let t = Telemetry::attached();
+        eng.set_telemetry(t.clone(), "inst0");
+        for _ in 0..3 {
+            let q = spec(1, vec![1, 2]);
+            let r = eng.execute(SimTime::ZERO, &q, &mut cpu, &mut io, DomainId(1));
+            eng.commit_record(r.record);
+        }
+        eng.close_interval(SimTime::from_secs(1));
+        let prom = t.render_prometheus().unwrap();
+        assert!(prom.contains("odlb_queries_total{class=\"app0#1\",instance=\"inst0\"} 3"));
+        assert!(prom.contains("odlb_page_accesses_total{class=\"app0#1\",instance=\"inst0\"} 6"));
+        assert!(prom.contains("odlb_buffer_misses_total{class=\"app0#1\",instance=\"inst0\"} 2"));
+        assert!(prom.contains("odlb_query_latency_us_count{class=\"app0#1\",instance=\"inst0\"} 3"));
+        assert!(prom.contains("odlb_pool_pages{instance=\"inst0\",partition=\"general\"}"));
+        odlb_telemetry::validate_prometheus(&prom).expect("valid exposition");
     }
 
     #[test]

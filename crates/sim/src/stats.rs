@@ -82,9 +82,14 @@ impl Welford {
 ///
 /// Measurement intervals are short (thousands of queries), so retaining the
 /// interval's samples exactly is cheaper and more faithful than a sketch.
+/// The sorted order is cached behind a dirty flag: reports ask for several
+/// quantiles (p50/p95/p99) of the same interval back to back, and only the
+/// first query after new observations pays the clone-and-sort.
 #[derive(Clone, Debug, Default)]
 pub struct Percentiles {
     samples: Vec<f64>,
+    sorted: std::cell::RefCell<Vec<f64>>,
+    dirty: std::cell::Cell<bool>,
 }
 
 impl Percentiles {
@@ -96,6 +101,7 @@ impl Percentiles {
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
         self.samples.push(x);
+        self.dirty.set(true);
     }
 
     /// Number of observations.
@@ -110,15 +116,22 @@ impl Percentiles {
             return None;
         }
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let mut sorted = self.sorted.borrow_mut();
+        if self.dirty.get() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples);
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.dirty.set(false);
+        }
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         Some(sorted[rank - 1])
     }
 
-    /// Resets to empty, keeping the allocation.
+    /// Resets to empty, keeping the allocations.
     pub fn reset(&mut self) {
         self.samples.clear();
+        self.sorted.borrow_mut().clear();
+        self.dirty.set(false);
     }
 }
 
@@ -316,6 +329,22 @@ mod tests {
     #[test]
     fn percentiles_empty() {
         assert_eq!(Percentiles::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn percentiles_cache_invalidates_on_push_and_reset() {
+        let mut p = Percentiles::new();
+        p.push(10.0);
+        assert_eq!(p.quantile(1.0), Some(10.0));
+        // New observations after a cached sort must be visible.
+        p.push(30.0);
+        p.push(20.0);
+        assert_eq!(p.quantile(1.0), Some(30.0));
+        assert_eq!(p.quantile(0.5), Some(20.0));
+        p.reset();
+        assert_eq!(p.quantile(0.5), None);
+        p.push(7.0);
+        assert_eq!(p.quantile(0.5), Some(7.0));
     }
 
     #[test]

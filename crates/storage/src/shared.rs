@@ -13,6 +13,7 @@
 use crate::disk::{Disk, DiskModel, IoCounters, IoKind};
 use odlb_sim::station::Admission;
 use odlb_sim::{SimDuration, SimTime};
+use odlb_telemetry::Telemetry;
 use std::collections::HashMap;
 
 /// Identifies a VM domain on one physical machine. Domain 0 is the control
@@ -90,6 +91,43 @@ impl SharedIoPath {
     pub fn mean_wait(&self) -> SimDuration {
         self.disk.mean_wait()
     }
+
+    /// Exports per-domain I/O counters into a telemetry registry (domains
+    /// iterated in sorted order, so export stays deterministic despite the
+    /// `HashMap`). The counters are cumulative, so `set_total` keeps the
+    /// telemetry series monotone. No-op when `telemetry` is inactive.
+    pub fn export_telemetry(&self, telemetry: &Telemetry, machine: &str) {
+        if !telemetry.is_active() {
+            return;
+        }
+        let mut domains: Vec<(&DomainId, &IoCounters)> = self.per_domain.iter().collect();
+        domains.sort_by_key(|(d, _)| **d);
+        for (domain, counters) in domains {
+            let domain = domain.0.to_string();
+            let labels = [("domain", domain.as_str()), ("machine", machine)];
+            for (name, help, total) in [
+                (
+                    "odlb_io_requests_total",
+                    "Disk read requests issued by a VM domain.",
+                    counters.requests,
+                ),
+                (
+                    "odlb_io_pages_total",
+                    "Pages read from disk by a VM domain.",
+                    counters.pages,
+                ),
+                (
+                    "odlb_io_readahead_requests_total",
+                    "Asynchronous read-ahead requests issued by a VM domain.",
+                    counters.readahead_requests,
+                ),
+            ] {
+                if let Some(c) = telemetry.counter(name, help, &labels) {
+                    c.set_total(total);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +169,22 @@ mod tests {
         }
         assert!((path.domain_share(DomainId(1)) - 0.87).abs() < 1e-12);
         assert!((path.domain_share(DomainId(2)) - 0.13).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_telemetry_is_monotone_and_deterministic() {
+        let mut path = SharedIoPath::new(DiskModel::default());
+        path.read(DomainId(2), SimTime::ZERO, IoKind::Random, 1, false);
+        path.read(DomainId(1), SimTime::ZERO, IoKind::Sequential, 64, true);
+        let t = Telemetry::attached();
+        path.export_telemetry(&t, "pm0");
+        path.read(DomainId(1), SimTime::ZERO, IoKind::Random, 1, false);
+        path.export_telemetry(&t, "pm0");
+        let prom = t.render_prometheus().unwrap();
+        assert!(prom.contains("odlb_io_requests_total{domain=\"1\",machine=\"pm0\"} 2"));
+        assert!(prom.contains("odlb_io_pages_total{domain=\"1\",machine=\"pm0\"} 65"));
+        assert!(prom.contains("odlb_io_readahead_requests_total{domain=\"2\",machine=\"pm0\"} 0"));
+        path.export_telemetry(&Telemetry::inactive(), "pm0");
     }
 
     #[test]

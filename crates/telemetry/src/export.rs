@@ -1,0 +1,408 @@
+//! Exposition formats: Prometheus text exposition for the final snapshot,
+//! CSV for the per-interval time series — plus the validators the CI
+//! smoke check and the `promcheck` binary run against real output.
+//!
+//! Both renderers iterate `BTreeMap`s and format integers wherever the
+//! source value is an integer, so output is byte-identical across
+//! same-seed runs and platforms.
+
+use crate::registry::{FamilySample, MetricsRegistry};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a float for exposition: integers without a fraction, others
+/// through the shortest round-trip `Display` (deterministic per bit
+/// pattern). Non-finite values clamp to 0 so every sample stays
+/// parseable.
+fn render_value(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the registry's current state in the Prometheus text exposition
+/// format (version 0.0.4): `# HELP` and `# TYPE` per family, histograms
+/// as cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    registry.for_each_family(|name, help, kind, series| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {}", kind.label());
+        for (labels, sample) in series {
+            let braced = |extra: &str| -> String {
+                match (labels.is_empty(), extra.is_empty()) {
+                    (true, true) => String::new(),
+                    (true, false) => format!("{{{extra}}}"),
+                    (false, true) => format!("{{{labels}}}"),
+                    (false, false) => format!("{{{labels},{extra}}}"),
+                }
+            };
+            match sample {
+                FamilySample::Counter(v) => {
+                    let _ = writeln!(out, "{name}{} {v}", braced(""));
+                }
+                FamilySample::Gauge(v) => {
+                    let _ = writeln!(out, "{name}{} {}", braced(""), render_value(v));
+                }
+                FamilySample::Histogram(h) => h.with(|h| {
+                    for (le, cum) in h.cumulative_buckets() {
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            braced(&format!("le=\"{le}\""))
+                        );
+                    }
+                    let _ = writeln!(out, "{name}_bucket{} {}", braced("le=\"+Inf\""), h.count());
+                    let _ = writeln!(out, "{name}_sum{} {}", braced(""), h.sum());
+                    let _ = writeln!(out, "{name}_count{} {}", braced(""), h.count());
+                }),
+            }
+        }
+    });
+    out
+}
+
+/// Renders the interval snapshots as a long-format CSV time series:
+/// `time_s,metric,labels,value`, labels as `key=value` pairs joined with
+/// `;` (no quoting needed — label values never contain `;` or `,`).
+pub fn render_csv(registry: &MetricsRegistry) -> String {
+    let mut out = String::from("time_s,metric,labels,value\n");
+    for snap in registry.snapshots() {
+        let time_s = snap.at_us as f64 / 1e6;
+        for row in &snap.rows {
+            let labels = row.labels.replace('"', "").replace(',', ";");
+            let _ = writeln!(
+                out,
+                "{:.6},{},{},{}",
+                time_s,
+                row.name,
+                labels,
+                render_value(row.value)
+            );
+        }
+    }
+    out
+}
+
+/// Summary statistics from a successful validation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// `# TYPE` families seen.
+    pub families: usize,
+    /// Sample lines seen.
+    pub samples: usize,
+    /// Histogram series fully checked (bucket monotonicity, count match).
+    pub histograms: usize,
+}
+
+/// Splits `name{labels} value` / `name value` into parts.
+fn split_sample(line: &str) -> Option<(&str, &str, &str)> {
+    if let Some(open) = line.find('{') {
+        let close = line.rfind('}')?;
+        let value = line.get(close + 1..)?.trim();
+        Some((&line[..open], &line[open + 1..close], value))
+    } else {
+        let (name, value) = line.split_once(' ')?;
+        Some((name, "", value.trim()))
+    }
+}
+
+/// Strips `le="..."` from a histogram bucket label set, returning the
+/// remaining labels (the series key) and the `le` value.
+fn split_le(labels: &str) -> Option<(String, String)> {
+    let mut rest = Vec::new();
+    let mut le = None;
+    for pair in labels.split(',').filter(|p| !p.is_empty()) {
+        match pair.strip_prefix("le=\"").and_then(|v| v.strip_suffix('"')) {
+            Some(v) => le = Some(v.to_string()),
+            None => rest.push(pair),
+        }
+    }
+    le.map(|le| (rest.join(","), le))
+}
+
+/// Validates a Prometheus text exposition: every sample belongs to a
+/// declared family (`# TYPE` + `# HELP` first), values parse as finite
+/// floats, counters are integral, histogram buckets have strictly
+/// increasing `le` bounds with non-decreasing cumulative counts ending in
+/// a `+Inf` bucket that equals the series' `_count`.
+pub fn validate_prometheus(text: &str) -> Result<ExpositionStats, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helped: BTreeMap<String, bool> = BTreeMap::new();
+    let mut stats = ExpositionStats::default();
+    // (family, series labels) -> ordered (le, cumulative count).
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut inf_counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+
+    for (no, line) in text.lines().enumerate() {
+        let err = |msg: String| format!("line {}: {msg}", no + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or_default();
+            helped.insert(name.to_string(), true);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or_default().to_string();
+            let kind = parts.next().unwrap_or_default();
+            if !["counter", "gauge", "histogram"].contains(&kind) {
+                return Err(err(format!("unknown type '{kind}'")));
+            }
+            if !helped.contains_key(&name) {
+                return Err(err(format!("TYPE for '{name}' without HELP")));
+            }
+            types.insert(name, kind.to_string());
+            stats.families += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, labels, value) =
+            split_sample(line).ok_or_else(|| err(format!("unparseable sample '{line}'")))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| err(format!("unparseable value in '{line}'")))?;
+        if !value.is_finite() {
+            return Err(err(format!("non-finite value in '{line}'")));
+        }
+        // Resolve the family: exact match, else a histogram suffix.
+        let family = if types.contains_key(name) {
+            name.to_string()
+        } else {
+            let base = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| name.strip_suffix(s))
+                .ok_or_else(|| err(format!("sample '{name}' has no TYPE line")))?;
+            if types.get(base).map(String::as_str) != Some("histogram") {
+                return Err(err(format!("sample '{name}' has no TYPE line")));
+            }
+            base.to_string()
+        };
+        stats.samples += 1;
+        match types[&family].as_str() {
+            "counter" if value < 0.0 || value != value.trunc() => {
+                return Err(err(format!("counter '{name}' has non-count value {value}")));
+            }
+            "histogram" => {
+                if name.ends_with("_bucket") {
+                    let (series, le) = split_le(labels)
+                        .ok_or_else(|| err(format!("bucket without le in '{line}'")))?;
+                    let le = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse()
+                            .map_err(|_| err(format!("unparseable le '{le}'")))?
+                    };
+                    if le.is_infinite() {
+                        inf_counts.insert((family.clone(), series), value);
+                    } else {
+                        buckets
+                            .entry((family.clone(), series))
+                            .or_default()
+                            .push((le, value));
+                    }
+                } else if name.ends_with("_count") {
+                    hist_counts.insert((family.clone(), labels.to_string()), value);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (key @ (family, series), seq) in &buckets {
+        for w in seq.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!(
+                    "{family}{{{series}}}: le bounds not increasing ({} then {})",
+                    w[0].0, w[1].0
+                ));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!(
+                    "{family}{{{series}}}: bucket counts decrease ({} then {})",
+                    w[0].1, w[1].1
+                ));
+            }
+        }
+        let inf = inf_counts
+            .get(key)
+            .ok_or_else(|| format!("{family}{{{series}}}: missing +Inf bucket"))?;
+        if let Some(&(_, last)) = seq.last() {
+            if last > *inf {
+                return Err(format!("{family}{{{series}}}: +Inf below last bucket"));
+            }
+        }
+    }
+    for (key @ (family, series), inf) in &inf_counts {
+        let count = hist_counts
+            .get(key)
+            .ok_or_else(|| format!("{family}{{{series}}}: missing _count"))?;
+        if count != inf {
+            return Err(format!(
+                "{family}{{{series}}}: _count {count} != +Inf bucket {inf}"
+            ));
+        }
+    }
+    stats.histograms = inf_counts.len();
+    Ok(stats)
+}
+
+/// Validates the CSV time series: the header, four fields per row,
+/// non-decreasing time, parseable finite values, and monotone counters
+/// (`*_total`, `*_count`, `*_sum` series must never decrease over time).
+pub fn validate_csv(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("time_s,metric,labels,value") => {}
+        other => return Err(format!("bad header: {other:?}")),
+    }
+    let mut last_time = f64::NEG_INFINITY;
+    let mut monotone: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut rows = 0usize;
+    for (no, line) in lines.enumerate() {
+        let err = |msg: String| format!("row {}: {msg}", no + 1);
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(err(format!("expected 4 fields, got {}", fields.len())));
+        }
+        let time: f64 = fields[0]
+            .parse()
+            .map_err(|_| err(format!("unparseable time '{}'", fields[0])))?;
+        if time < last_time {
+            return Err(err("time went backwards".to_string()));
+        }
+        last_time = time;
+        let value: f64 = fields[3]
+            .parse()
+            .map_err(|_| err(format!("unparseable value '{}'", fields[3])))?;
+        if !value.is_finite() {
+            return Err(err("non-finite value".to_string()));
+        }
+        let metric = fields[1];
+        if metric.ends_with("_total") || metric.ends_with("_count") || metric.ends_with("_sum") {
+            let key = (metric.to_string(), fields[2].to_string());
+            if let Some(prev) = monotone.get(&key) {
+                if value < *prev {
+                    return Err(err(format!(
+                        "counter {metric}{{{}}} decreased: {prev} -> {value}",
+                        fields[2]
+                    )));
+                }
+            }
+            monotone.insert(key, value);
+        }
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter(
+            "odlb_queries_total",
+            "Queries executed.",
+            &[("app", "app0")],
+        );
+        c.add(42);
+        let g = reg.gauge(
+            "odlb_queue_depth",
+            "Outstanding queries.",
+            &[("instance", "inst0")],
+        );
+        g.set(3.0);
+        let h = reg.histogram(
+            "odlb_query_latency_us",
+            "Per-query latency (microseconds).",
+            &[("class", "app0#8"), ("instance", "inst0")],
+        );
+        for v in [120u64, 130, 5_000, 5_000, 90_000] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn exposition_round_trips_through_validator() {
+        let reg = sample_registry();
+        let text = render_prometheus(&reg);
+        assert!(text.contains("# TYPE odlb_queries_total counter"));
+        assert!(text.contains("odlb_queries_total{app=\"app0\"} 42"));
+        assert!(text.contains("# TYPE odlb_query_latency_us histogram"));
+        assert!(text.contains("le=\"+Inf\"} 5"));
+        let stats = validate_prometheus(&text).expect("valid exposition");
+        assert_eq!(stats.families, 3);
+        assert_eq!(stats.histograms, 1);
+        assert!(stats.samples >= 5);
+    }
+
+    #[test]
+    fn validator_rejects_missing_type() {
+        assert!(validate_prometheus("orphan_metric 3\n").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_decreasing_buckets() {
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        let err = validate_prometheus(bad).unwrap_err();
+        assert!(err.contains("decrease"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_count_mismatch() {
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 4\n";
+        let err = validate_prometheus(bad).unwrap_err();
+        assert!(err.contains("_count"), "{err}");
+    }
+
+    #[test]
+    fn csv_round_trips_through_validator() {
+        let mut reg = sample_registry();
+        reg.snapshot(10_000_000);
+        reg.counter(
+            "odlb_queries_total",
+            "Queries executed.",
+            &[("app", "app0")],
+        )
+        .add(8);
+        reg.snapshot(20_000_000);
+        let csv = render_csv(&reg);
+        assert!(csv.starts_with("time_s,metric,labels,value\n"));
+        assert!(csv.contains("10.000000,odlb_queries_total,app=app0,42"));
+        assert!(csv.contains("20.000000,odlb_queries_total,app=app0,50"));
+        let rows = validate_csv(&csv).expect("valid csv");
+        assert_eq!(rows, 2 * (1 + 1 + 6));
+    }
+
+    #[test]
+    fn csv_validator_rejects_shrinking_counter() {
+        let bad = "time_s,metric,labels,value\n1.0,x_total,,5\n2.0,x_total,,4\n";
+        let err = validate_csv(bad).unwrap_err();
+        assert!(err.contains("decreased"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_values_render_as_zero() {
+        assert_eq!(render_value(f64::NAN), "0");
+        assert_eq!(render_value(f64::INFINITY), "0");
+        assert_eq!(render_value(2.0), "2");
+        assert_eq!(render_value(0.25), "0.25");
+    }
+}

@@ -1,0 +1,200 @@
+//! A span profiler for controller overhead: wall-clock time per named
+//! phase (collection, outlier detection, MRC update, action selection),
+//! rendered as a per-run report that quantifies the paper's claim that
+//! fine-grained instrumentation and control add negligible overhead.
+//!
+//! Timings are real wall-clock durations and therefore *never* enter the
+//! deterministic `.prom`/`.csv` artifacts — the report goes to stdout
+//! only.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Accumulated timings for one phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseStats {
+    /// Number of timed invocations.
+    pub calls: u64,
+    /// Total time across invocations.
+    pub total: Duration,
+    /// Longest single invocation.
+    pub max: Duration,
+}
+
+/// Accumulates wall-clock time per named phase.
+#[derive(Debug, Default)]
+pub struct SpanProfiler {
+    phases: BTreeMap<&'static str, PhaseStats>,
+}
+
+/// A shareable profiler handle (single-threaded, like the tracer).
+pub type SharedSpanProfiler = Rc<RefCell<SpanProfiler>>;
+
+impl SpanProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        SpanProfiler::default()
+    }
+
+    /// Creates a shareable handle.
+    pub fn shared() -> SharedSpanProfiler {
+        Rc::new(RefCell::new(SpanProfiler::new()))
+    }
+
+    /// Adds one invocation of `phase` that took `elapsed`.
+    pub fn add(&mut self, phase: &'static str, elapsed: Duration) {
+        let stats = self.phases.entry(phase).or_default();
+        stats.calls += 1;
+        stats.total += elapsed;
+        stats.max = stats.max.max(elapsed);
+    }
+
+    /// Times `f` under `phase`.
+    pub fn time<R>(&mut self, phase: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// Recorded phases in name order.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, &PhaseStats)> {
+        self.phases.iter().map(|(name, stats)| (*name, stats))
+    }
+
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.values().map(|s| s.total).sum()
+    }
+
+    /// Renders the overhead report: one line per phase plus the share of
+    /// `run_wall` (the whole run's wall time) spent inside controller
+    /// phases.
+    pub fn report(&self, run_wall: Duration) -> String {
+        let mut out = String::from("controller overhead report\n");
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>8} {:>12} {:>12} {:>12}",
+            "phase", "calls", "total", "mean", "max"
+        );
+        for (name, stats) in &self.phases {
+            let mean = if stats.calls == 0 {
+                Duration::ZERO
+            } else {
+                stats.total / stats.calls as u32
+            };
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>8} {:>12} {:>12} {:>12}",
+                name,
+                stats.calls,
+                format_duration(stats.total),
+                format_duration(mean),
+                format_duration(stats.max)
+            );
+        }
+        let total = self.total();
+        let share = if run_wall.is_zero() {
+            0.0
+        } else {
+            100.0 * total.as_secs_f64() / run_wall.as_secs_f64()
+        };
+        let _ = writeln!(
+            out,
+            "  controller total {} of {} run wall time ({share:.2}%)",
+            format_duration(total),
+            format_duration(run_wall)
+        );
+        out
+    }
+}
+
+/// Times `f` under `phase` on an optional shared profiler. The borrow is
+/// taken only *after* `f` returns, so timed sections may nest freely.
+pub fn profile_span<R>(
+    profiler: &Option<SharedSpanProfiler>,
+    phase: &'static str,
+    f: impl FnOnce() -> R,
+) -> R {
+    match profiler {
+        Some(p) => {
+            let start = Instant::now();
+            let out = f();
+            p.borrow_mut().add(phase, start.elapsed());
+            out
+        }
+        None => f(),
+    }
+}
+
+/// Human-readable duration with a stable width-friendly unit.
+fn format_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.3}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_per_phase() {
+        let mut p = SpanProfiler::new();
+        p.add("collection", Duration::from_micros(10));
+        p.add("collection", Duration::from_micros(30));
+        p.add("outlier_detection", Duration::from_micros(5));
+        let stats: BTreeMap<&str, PhaseStats> = p.phases().map(|(n, s)| (n, *s)).collect();
+        assert_eq!(stats["collection"].calls, 2);
+        assert_eq!(stats["collection"].total, Duration::from_micros(40));
+        assert_eq!(stats["collection"].max, Duration::from_micros(30));
+        assert_eq!(stats["outlier_detection"].calls, 1);
+        assert_eq!(p.total(), Duration::from_micros(45));
+    }
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let mut p = SpanProfiler::new();
+        let out = p.time("mrc_update", || 7);
+        assert_eq!(out, 7);
+        assert_eq!(p.phases().count(), 1);
+    }
+
+    #[test]
+    fn profile_span_nests_without_panicking() {
+        let shared = SpanProfiler::shared();
+        let opt = Some(shared.clone());
+        let out = profile_span(&opt, "outer", || profile_span(&opt, "inner", || 3));
+        assert_eq!(out, 3);
+        assert_eq!(shared.borrow().phases().count(), 2);
+    }
+
+    #[test]
+    fn profile_span_without_profiler_is_transparent() {
+        assert_eq!(profile_span(&None, "x", || 11), 11);
+    }
+
+    #[test]
+    fn report_mentions_every_phase_and_share() {
+        let mut p = SpanProfiler::new();
+        p.add("action_selection", Duration::from_millis(1));
+        let report = p.report(Duration::from_millis(100));
+        assert!(report.contains("action_selection"));
+        assert!(report.contains("1.00%"));
+    }
+
+    #[test]
+    fn report_handles_zero_wall_time() {
+        let p = SpanProfiler::new();
+        let report = p.report(Duration::ZERO);
+        assert!(report.contains("0.00%"));
+    }
+}

@@ -1,0 +1,397 @@
+//! The metrics registry: named, labelled counters, gauges and histograms
+//! with interval snapshotting.
+//!
+//! Ordering is deterministic everywhere (`BTreeMap` over names and
+//! rendered label sets), so two same-seed runs export byte-identical
+//! Prometheus and CSV artifacts. Handles ([`Counter`], [`Gauge`],
+//! [`Histogram`]) are cheap `Rc` clones emission sites cache, so the hot
+//! path never repeats the name lookup.
+
+use crate::histogram::LogLinearHistogram;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// What a metric family measures (drives the exposition `# TYPE` line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Monotonically non-decreasing count.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Log-linear latency distribution.
+    Histogram,
+}
+
+impl FamilyKind {
+    /// The exposition-format type keyword.
+    pub fn label(self) -> &'static str {
+        match self {
+            FamilyKind::Counter => "counter",
+            FamilyKind::Gauge => "gauge",
+            FamilyKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A counter handle. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Sets the cumulative total from a source that already accumulates
+    /// (per-domain I/O counters, pool counters). Must be monotone.
+    pub fn set_total(&self, total: u64) {
+        debug_assert!(total >= self.0.get(), "counter must not decrease");
+        self.0.set(total.max(self.0.get()));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A gauge handle. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Sets the current value.
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// A histogram handle. Cloning shares the underlying histogram.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Rc<RefCell<LogLinearHistogram>>);
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.0.borrow_mut().record(v);
+    }
+
+    /// Reads through to the underlying histogram.
+    pub fn with<R>(&self, f: impl FnOnce(&LogLinearHistogram) -> R) -> R {
+        f(&self.0.borrow())
+    }
+}
+
+/// One labelled series inside a family.
+struct Series {
+    /// Rendered `key="value"` pairs, sorted by key (the BTreeMap key).
+    labels: String,
+    value: SeriesValue,
+}
+
+enum SeriesValue {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// One metric family: a help string, a kind, and labelled series.
+struct Family {
+    help: String,
+    kind: FamilyKind,
+    series: BTreeMap<String, Series>,
+}
+
+/// A point-in-time export row (also the CSV row shape).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleRow {
+    /// Sample name (family name plus any histogram suffix, e.g. `_p95`).
+    pub name: String,
+    /// Rendered label pairs (`key="value",key="value"`), possibly empty.
+    pub labels: String,
+    /// The value.
+    pub value: f64,
+}
+
+/// One interval snapshot: every series' value at an interval boundary.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Snapshot time in simulation microseconds.
+    pub at_us: u64,
+    /// All rows, deterministically ordered.
+    pub rows: Vec<SampleRow>,
+}
+
+/// The registry: every metric family plus the interval snapshot log.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: BTreeMap<String, Family>,
+    snapshots: Vec<Snapshot>,
+}
+
+/// Renders a label set canonically: sorted by key, `key="value"` joined
+/// with commas. Values must not contain `"` or `\n`.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_unstable();
+    pairs
+        .iter()
+        .map(|(k, v)| {
+            debug_assert!(!v.contains('"') && !v.contains('\n'), "bad label value");
+            format!("{k}=\"{v}\"")
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: FamilyKind) -> &mut Family {
+        let fam = self
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                help: help.to_string(),
+                kind,
+                series: BTreeMap::new(),
+            });
+        assert_eq!(
+            fam.kind, kind,
+            "metric family '{name}' registered with two kinds"
+        );
+        fam
+    }
+
+    /// Gets or creates a counter series.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = render_labels(labels);
+        let fam = self.family(name, help, FamilyKind::Counter);
+        let series = fam.series.entry(key.clone()).or_insert_with(|| Series {
+            labels: key,
+            value: SeriesValue::Counter(Counter::default()),
+        });
+        match &series.value {
+            SeriesValue::Counter(c) => c.clone(),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Gets or creates a gauge series.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = render_labels(labels);
+        let fam = self.family(name, help, FamilyKind::Gauge);
+        let series = fam.series.entry(key.clone()).or_insert_with(|| Series {
+            labels: key,
+            value: SeriesValue::Gauge(Gauge::default()),
+        });
+        match &series.value {
+            SeriesValue::Gauge(g) => g.clone(),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Gets or creates a histogram series.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = render_labels(labels);
+        let fam = self.family(name, help, FamilyKind::Histogram);
+        let series = fam.series.entry(key.clone()).or_insert_with(|| Series {
+            labels: key,
+            value: SeriesValue::Histogram(Histogram::default()),
+        });
+        match &series.value {
+            SeriesValue::Histogram(h) => h.clone(),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Number of registered series across all families.
+    pub fn series_count(&self) -> usize {
+        self.families.values().map(|f| f.series.len()).sum()
+    }
+
+    /// Current values of every series as deterministic export rows.
+    /// Histograms expand into `_count`, `_sum`, `_p50`, `_p95`, `_p99`
+    /// and `_max` rows (the summary columns a time series needs; the full
+    /// bucket layout only appears in the Prometheus exposition).
+    pub fn sample_rows(&self) -> Vec<SampleRow> {
+        let mut rows = Vec::new();
+        for (name, fam) in &self.families {
+            for series in fam.series.values() {
+                let labels = series.labels.clone();
+                match &series.value {
+                    SeriesValue::Counter(c) => rows.push(SampleRow {
+                        name: name.clone(),
+                        labels,
+                        value: c.get() as f64,
+                    }),
+                    SeriesValue::Gauge(g) => rows.push(SampleRow {
+                        name: name.clone(),
+                        labels,
+                        value: g.get(),
+                    }),
+                    SeriesValue::Histogram(h) => h.with(|h| {
+                        let q = |q: f64| h.quantile(q).unwrap_or(0) as f64;
+                        for (suffix, value) in [
+                            ("_count", h.count() as f64),
+                            ("_sum", h.sum() as f64),
+                            ("_p50", q(0.50)),
+                            ("_p95", q(0.95)),
+                            ("_p99", q(0.99)),
+                            ("_max", h.max().unwrap_or(0) as f64),
+                        ] {
+                            rows.push(SampleRow {
+                                name: format!("{name}{suffix}"),
+                                labels: labels.clone(),
+                                value,
+                            });
+                        }
+                    }),
+                }
+            }
+        }
+        rows
+    }
+
+    /// Records an interval snapshot of every series at `at_us` (the
+    /// driver calls this once per closed measurement interval, so the CSV
+    /// time series aligns with the controller's decision points).
+    pub fn snapshot(&mut self, at_us: u64) {
+        let rows = self.sample_rows();
+        self.snapshots.push(Snapshot { at_us, rows });
+    }
+
+    /// The recorded snapshots.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Iterates families for the exporters: `(name, help, kind, series)`,
+    /// series as `(labels, value)` in deterministic order.
+    pub(crate) fn for_each_family(
+        &self,
+        mut f: impl FnMut(&str, &str, FamilyKind, &mut dyn Iterator<Item = (&str, FamilySample)>),
+    ) {
+        for (name, fam) in &self.families {
+            let mut iter = fam.series.values().map(|s| {
+                let sample = match &s.value {
+                    SeriesValue::Counter(c) => FamilySample::Counter(c.get()),
+                    SeriesValue::Gauge(g) => FamilySample::Gauge(g.get()),
+                    SeriesValue::Histogram(h) => FamilySample::Histogram(h.clone()),
+                };
+                (s.labels.as_str(), sample)
+            });
+            f(name, &fam.help, fam.kind, &mut iter);
+        }
+    }
+}
+
+/// A family sample handed to the exporters.
+pub(crate) enum FamilySample {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("odlb_queries_total", "Queries.", &[("app", "app0")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name + labels returns the same series.
+        let c2 = reg.counter("odlb_queries_total", "Queries.", &[("app", "app0")]);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+        let g = reg.gauge("odlb_depth", "Depth.", &[]);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        assert_eq!(reg.series_count(), 2);
+    }
+
+    #[test]
+    fn labels_are_canonically_ordered() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("c", "h", &[("b", "2"), ("a", "1")]);
+        let b = reg.counter("c", "h", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "label order must not split the series");
+        assert_eq!(reg.series_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two kinds")]
+    fn kind_conflicts_are_rejected() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("m", "h", &[]);
+        reg.gauge("m", "h", &[]);
+    }
+
+    #[test]
+    fn set_total_is_monotone() {
+        let c = Counter::default();
+        c.set_total(10);
+        c.set_total(15);
+        assert_eq!(c.get(), 15);
+    }
+
+    #[test]
+    fn histogram_rows_expand_summary_columns() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_us", "Latency.", &[("class", "app0#8")]);
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let rows = reg.sample_rows();
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "lat_us_count",
+                "lat_us_sum",
+                "lat_us_p50",
+                "lat_us_p95",
+                "lat_us_p99",
+                "lat_us_max"
+            ]
+        );
+        assert_eq!(rows[0].value, 100.0);
+        assert_eq!(rows[5].value, 100.0);
+    }
+
+    #[test]
+    fn snapshots_accumulate_in_order() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("n", "h", &[]);
+        c.inc();
+        reg.snapshot(10_000_000);
+        c.inc();
+        reg.snapshot(20_000_000);
+        let snaps = reg.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].rows[0].value, 1.0);
+        assert_eq!(snaps[1].rows[0].value, 2.0);
+        assert!(snaps[0].at_us < snaps[1].at_us);
+    }
+}

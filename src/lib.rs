@@ -16,5 +16,6 @@ pub use odlb_mrc as mrc;
 pub use odlb_outlier as outlier;
 pub use odlb_sim as sim;
 pub use odlb_storage as storage;
+pub use odlb_telemetry as telemetry;
 pub use odlb_trace as trace;
 pub use odlb_workload as workload;

@@ -1,0 +1,66 @@
+//! Telemetry determinism: metric values derive only from simulation
+//! state, so two same-seed runs through the same public entry point the
+//! `--metrics` flag uses must render byte-identical Prometheus and CSV
+//! artifacts — and those artifacts must pass the in-repo validators.
+//! Also pins the observation-only invariant: attaching telemetry must
+//! not change the run digest.
+
+use odlb::telemetry::{validate_csv, validate_prometheus, SpanProfiler, Telemetry};
+use odlb::trace::{DigestSink, Tracer};
+use odlb_bench::experiments::fig3;
+
+/// A scaled-down fig3 run with telemetry attached, returning the
+/// rendered artifacts and the decision-trace digest.
+fn instrumented_run() -> (String, String, u64) {
+    let tracer = Tracer::new();
+    let digest = tracer.attach(DigestSink::new());
+    let telemetry = Telemetry::attached();
+    let profiler = SpanProfiler::shared();
+    fig3::run_instrumented(tracer, telemetry.clone(), Some(profiler), 12, 4, 20, 150, 2);
+    let prom = telemetry.render_prometheus().expect("attached");
+    let csv = telemetry.render_csv().expect("attached");
+    let d = digest.borrow().digest();
+    (prom, csv, d)
+}
+
+#[test]
+fn same_seed_runs_render_byte_identical_artifacts() {
+    let (prom_a, csv_a, digest_a) = instrumented_run();
+    let (prom_b, csv_b, digest_b) = instrumented_run();
+    assert_eq!(digest_a, digest_b, "same seed must give the same digest");
+    assert_eq!(
+        prom_a, prom_b,
+        "Prometheus artifacts must be byte-identical"
+    );
+    assert_eq!(csv_a, csv_b, "CSV artifacts must be byte-identical");
+
+    let stats = validate_prometheus(&prom_a).expect("valid exposition");
+    assert!(stats.families > 0, "exposition must not be empty");
+    assert!(stats.histograms > 0, "latency histograms must be exported");
+    let rows = validate_csv(&csv_a).expect("valid csv");
+    assert!(rows > 0, "csv must not be empty");
+
+    // Spot-check the figure's key series made it into the exposition.
+    for name in [
+        "odlb_query_latency_us_bucket",
+        "odlb_queries_total",
+        "odlb_pool_resident_pages",
+        "odlb_instance_queue_depth",
+        "odlb_server_cpu_utilisation",
+    ] {
+        assert!(prom_a.contains(name), "{name} missing from exposition");
+    }
+}
+
+#[test]
+fn attaching_telemetry_does_not_change_the_digest() {
+    let tracer = Tracer::new();
+    let digest = tracer.attach(DigestSink::new());
+    fig3::run_with(tracer, 12, 4, 20, 150, 2);
+    let plain = digest.borrow().digest();
+    let (_, _, instrumented) = instrumented_run();
+    assert_eq!(
+        plain, instrumented,
+        "telemetry must be observation-only: digests diverged"
+    );
+}
