@@ -44,7 +44,10 @@ fn traced(
             Ok(sink) => {
                 tracer.attach(sink);
             }
-            Err(e) => eprintln!("cannot open trace file {path}: {e}"),
+            Err(e) => {
+                eprintln!("{path}: cannot open trace file: {e}");
+                std::process::exit(1);
+            }
         }
     }
     let digest = tracer.attach(DigestSink::new());
@@ -81,7 +84,7 @@ fn finish_metrics(
 ) {
     let Some(dir) = dir else { return };
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("cannot create metrics dir {dir}: {e}");
+        eprintln!("{dir}: cannot create metrics dir: {e}");
         std::process::exit(1);
     }
     let prom_path = std::path::Path::new(dir).join(format!("{figure}.prom"));
@@ -90,7 +93,7 @@ fn finish_metrics(
     let csv = telemetry.render_csv().unwrap_or_default();
     for (path, content) in [(&prom_path, &prom), (&csv_path, &csv)] {
         if let Err(e) = std::fs::write(path, content) {
-            eprintln!("cannot write {}: {e}", path.display());
+            eprintln!("{}: cannot write: {e}", path.display());
             std::process::exit(1);
         }
     }

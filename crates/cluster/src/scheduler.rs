@@ -9,7 +9,7 @@
 
 use crate::topology::InstanceId;
 use odlb_metrics::{AppId, ClassId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Routing decision for one write query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,7 +29,7 @@ pub struct Scheduler {
     replicas: Vec<InstanceId>,
     /// Read placement overrides per class; classes not present are load
     /// balanced across the whole replica set.
-    placement: HashMap<ClassId, Vec<InstanceId>>,
+    placement: BTreeMap<ClassId, Vec<InstanceId>>,
 }
 
 impl Scheduler {
@@ -38,7 +38,7 @@ impl Scheduler {
         Scheduler {
             app,
             replicas,
-            placement: HashMap::new(),
+            placement: BTreeMap::new(),
         }
     }
 

@@ -11,8 +11,8 @@ use odlb_mrc::MissRatioCurve;
 use odlb_sim::{SimTime, Station};
 use odlb_storage::{DomainId, IoKind, ReadAheadDetector, SharedIoPath, EXTENT_PAGES};
 use odlb_telemetry::Telemetry;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 
 /// Engine parameters.
 #[derive(Clone, Copy, Debug)]
@@ -71,7 +71,7 @@ pub struct DbEngine {
     locks: LockManager,
     telemetry: Telemetry,
     instance_label: String,
-    series: HashMap<ClassId, ClassSeries>,
+    series: BTreeMap<ClassId, ClassSeries>,
 }
 
 impl DbEngine {
@@ -87,7 +87,7 @@ impl DbEngine {
             config,
             telemetry: Telemetry::inactive(),
             instance_label: String::new(),
-            series: HashMap::new(),
+            series: BTreeMap::new(),
         }
     }
 

@@ -12,7 +12,7 @@
 
 use odlb_sim::{SimDuration, SimTime};
 use odlb_storage::PageId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Exclusive page locks with FCFS waiting, bookkept analytically: each
 /// page stores the time until which it is held; an acquisition at `now`
@@ -20,7 +20,7 @@ use std::collections::HashMap;
 /// caller-provided release time.
 #[derive(Clone, Debug, Default)]
 pub struct LockManager {
-    held_until: HashMap<PageId, SimTime>,
+    held_until: BTreeMap<PageId, SimTime>,
     /// Cumulative waiting across all acquisitions (observability).
     total_wait: SimDuration,
     acquisitions: u64,

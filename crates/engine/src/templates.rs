@@ -12,7 +12,7 @@
 //! the `template` component of a [`ClassId`].
 
 use odlb_metrics::{AppId, ClassId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Replaces literals in SQL-ish text with `?` placeholders and collapses
 /// whitespace, yielding the query's template.
@@ -86,7 +86,7 @@ pub fn normalize_template(sql: &str) -> String {
 /// Assigns stable per-application template indices on the fly.
 #[derive(Clone, Debug, Default)]
 pub struct TemplateRegistry {
-    by_app: HashMap<AppId, HashMap<String, u32>>,
+    by_app: BTreeMap<AppId, BTreeMap<String, u32>>,
 }
 
 impl TemplateRegistry {

@@ -1,0 +1,495 @@
+//! A small but correct Rust lexer.
+//!
+//! The rule engine must match real tokens — `Instant::now` inside a
+//! string literal, a nested block comment, or a raw string is *not* a
+//! violation. This lexer understands exactly enough of the language to
+//! guarantee that: line comments (including doc comments), nested block
+//! comments, string / raw-string / byte-string / char literals with
+//! escapes, lifetimes vs char literals, identifiers, numbers and
+//! single-character punctuation. Everything is tagged with its 1-based
+//! source line so diagnostics stay precise.
+//!
+//! Suppression pragmas (`// odlb-lint: allow(<rules>) — <reason>`) live
+//! in comments, which ordinary tokenisation discards, so the lexer
+//! collects them as a side channel while scanning.
+
+/// The kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `in`, `HashMap`, …).
+    Ident,
+    /// Single punctuation character (`:`, `.`, `(`, …).
+    Punct,
+    /// String literal of any flavour (cooked, raw, byte); text is the
+    /// literal's *content*, with the quotes and any raw-string hashes
+    /// stripped but escapes left as written.
+    Str,
+    /// Character or byte literal (content between the quotes).
+    Char,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Lifetime (`'a`), without the leading quote.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One `odlb-lint: allow(...)` suppression pragma found in a comment.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: u32,
+    /// Rule names listed inside `allow(...)`, e.g. `["D02", "P01"]`.
+    pub rules: Vec<String>,
+    /// Free-text justification after the closing parenthesis.
+    pub reason: String,
+    /// False when the comment said `odlb-lint:` but the `allow(...)`
+    /// clause did not parse.
+    pub well_formed: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All suppression pragmas, in source order.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Lexes `src`, returning tokens plus any suppression pragmas found in
+/// comments. Never fails: unterminated literals simply end at EOF.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    let text = self.cooked_string();
+                    self.push(TokKind::Str, text, line);
+                }
+                '\'' => self.quote(),
+                c if c.is_ascii_digit() => {
+                    let text = self.number();
+                    self.push(TokKind::Num, text, line);
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let ident = self.ident();
+                    // String-literal prefixes: r"…", r#"…"#, b"…", br#"…"#,
+                    // b'…'. Only treat the ident as a prefix when the next
+                    // character actually opens a literal.
+                    match (ident.as_str(), self.peek(0)) {
+                        ("r" | "br", Some('"' | '#')) if self.raw_string_follows() => {
+                            let text = self.raw_string();
+                            self.push(TokKind::Str, text, line);
+                        }
+                        ("b", Some('"')) => {
+                            let text = self.cooked_string();
+                            self.push(TokKind::Str, text, line);
+                        }
+                        ("b", Some('\'')) => {
+                            self.bump();
+                            let text = self.char_body();
+                            self.push(TokKind::Char, text, line);
+                        }
+                        _ => self.push(TokKind::Ident, ident, line),
+                    }
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // Pragmas live in plain `//` comments only. Doc comments
+        // (`///`, `//!`) document — including documenting the pragma
+        // syntax itself — and must never act as suppressions.
+        let is_doc = text.starts_with("///") || text.starts_with("//!");
+        if !is_doc {
+            if let Some(p) = parse_pragma(&text, line) {
+                self.out.pragmas.push(p);
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn cooked_string(&mut self) -> String {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                c => text.push(c),
+            }
+        }
+        text
+    }
+
+    /// At a position right after an `r`/`br` ident: does a raw string
+    /// really start here (`#…#"` or `"`), as opposed to e.g. `r#raw_ident`?
+    fn raw_string_follows(&self) -> bool {
+        let mut i = 0;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self) -> String {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Terminated only by `"` followed by `hashes` hashes.
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        text.push('"');
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        text
+    }
+
+    /// Lexes from a leading `'`: either a lifetime or a char literal.
+    fn quote(&mut self) {
+        let line = self.line;
+        self.bump();
+        match (self.peek(0), self.peek(1)) {
+            // `'\n'`, `'\''`, `'\u{…}'` — escapes are always char literals.
+            (Some('\\'), _) => {
+                let text = self.char_body();
+                self.push(TokKind::Char, text, line);
+            }
+            // `'x'` — a closing quote right after one char.
+            (Some(_), Some('\'')) => {
+                let text = self.char_body();
+                self.push(TokKind::Char, text, line);
+            }
+            // `'ident` with no closing quote — a lifetime.
+            (Some(c), _) if c.is_alphabetic() || c == '_' => {
+                let name = self.ident();
+                self.push(TokKind::Lifetime, name, line);
+            }
+            _ => self.push(TokKind::Punct, "'".to_string(), line),
+        }
+    }
+
+    /// Consumes a char-literal body up to and including the closing quote
+    /// (the opening quote is already consumed).
+    fn char_body(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                c => text.push(c),
+            }
+        }
+        text
+    }
+
+    fn number(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // `1.5` continues the number; `1.max(2)` and `0..n` do not.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        text.push('.');
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        text
+    }
+
+    fn ident(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text
+    }
+}
+
+/// Parses a suppression pragma out of one line comment's text.
+///
+/// Grammar: `// odlb-lint: allow(RULE[,RULE…]) — reason text`. The
+/// em-dash may also be `-` or `:`; the reason is everything after it.
+fn parse_pragma(comment: &str, line: u32) -> Option<Pragma> {
+    let at = comment.find("odlb-lint:")?;
+    let rest = comment[at + "odlb-lint:".len()..].trim_start();
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return Some(Pragma {
+            line,
+            rules: Vec::new(),
+            reason: String::new(),
+            well_formed: false,
+        });
+    };
+    let Some(close) = body.find(')') else {
+        return Some(Pragma {
+            line,
+            rules: Vec::new(),
+            reason: String::new(),
+            well_formed: false,
+        });
+    };
+    let rules: Vec<String> = body[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let reason = body[close + 1..]
+        .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':')
+        .trim()
+        .to_string();
+    let well_formed = !rules.is_empty();
+    Some(Pragma {
+        line,
+        rules,
+        reason,
+        well_formed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // Instant::now in a line comment
+            /* SystemTime in /* a nested */ block comment */
+            let s = "Instant::now inside a string";
+            let r = r#"HashMap "quoted" raw"#;
+            let actual = marker;
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"marker".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let toks = lex(r###"r##"a "# b"## after"###).tokens;
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].text, "a \"# b");
+        assert!(toks[1].is_ident("after"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, vec!["x", "\\n"]);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "a\nb \"multi\nline\" c\nd";
+        let toks = lex(src).tokens;
+        let lines: Vec<(String, u32)> = toks.iter().map(|t| (t.text.clone(), t.line)).collect();
+        assert_eq!(lines[0], ("a".to_string(), 1));
+        assert_eq!(lines[1], ("b".to_string(), 2));
+        assert_eq!(lines[2], ("multi\nline".to_string(), 2));
+        assert_eq!(lines[3], ("c".to_string(), 3));
+        assert_eq!(lines[4], ("d".to_string(), 4));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls_or_ranges() {
+        let toks = lex("1.5 2.max(3) 0..7 0x1f 1_000u64").tokens;
+        let nums: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["1.5", "2", "3", "0", "7", "0x1f", "1_000u64"]);
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn pragmas_are_collected_with_rules_and_reason() {
+        let src = "// odlb-lint: allow(D03, P01) — sanctioned shared formatter\nlet x = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.pragmas.len(), 1);
+        let p = &lexed.pragmas[0];
+        assert_eq!(p.line, 1);
+        assert_eq!(p.rules, vec!["D03", "P01"]);
+        assert_eq!(p.reason, "sanctioned shared formatter");
+        assert!(p.well_formed);
+    }
+
+    #[test]
+    fn malformed_pragma_is_flagged_not_ignored() {
+        let lexed = lex("// odlb-lint: allot(D01) whoops");
+        assert_eq!(lexed.pragmas.len(), 1);
+        assert!(!lexed.pragmas[0].well_formed);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "b\"bytes\" b'x' br#\"raw\"# tail";
+        let toks = lex(src).tokens;
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].text, "bytes");
+        assert_eq!(toks[1].kind, TokKind::Char);
+        assert_eq!(toks[1].text, "x");
+        assert_eq!(toks[2].kind, TokKind::Str);
+        assert_eq!(toks[2].text, "raw");
+        assert!(toks[3].is_ident("tail"));
+    }
+}

@@ -1,0 +1,197 @@
+//! `odlb-lint` — the workspace's self-hosted static-analysis pass.
+//!
+//! The reproduction's headline guarantees (golden trace digests,
+//! byte-identical metric exports, offline tier-1 builds) rest on
+//! invariants the compiler does not check. This crate encodes them as
+//! lint rules over a real token stream (see [`lexer`]) plus a manifest
+//! gate (see [`manifest`]), and is wired into both CI and
+//! `cargo test -q` so every future change is checked.
+//!
+//! Entry points: [`run_workspace`] walks a workspace root and returns
+//! every diagnostic; the `odlb-lint` binary prints them as
+//! `file:line: rule: message` and exits nonzero if any exist.
+
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+pub use rules::{Diagnostic, Policy};
+
+use std::path::{Path, PathBuf};
+
+/// Decides which rule families apply to the workspace-relative path
+/// `rel` (always `/`-separated). Returns `None` for files the lint pass
+/// skips entirely.
+pub fn policy_for(rel: &str) -> Option<Policy> {
+    // Lint fixtures contain violations on purpose; build artifacts and
+    // vendored sources are not ours to police.
+    if rel.starts_with("crates/lint/tests/fixtures/")
+        || rel.starts_with("target/")
+        || rel.contains("/target/")
+    {
+        return None;
+    }
+    // Integration tests and benches may freely use wall clocks, hash
+    // iteration and unwraps: they never feed artifacts.
+    if rel.contains("/tests/") || rel.contains("/benches/") || rel.starts_with("tests/") {
+        return None;
+    }
+
+    let mut p = Policy::default();
+    if rel.contains("/examples/") {
+        p.timing = true;
+        p.rng = true;
+        return Some(p);
+    }
+
+    // D01: wall-clock time, except the overhead profiler (whose whole
+    // job is measuring wall time) and the bench harness.
+    p.timing = rel != "crates/telemetry/src/profiler.rs" && !rel.starts_with("crates/bench/");
+
+    // D02/D03: crates whose output feeds digests or exported artifacts.
+    let artifact_crate = ["trace", "telemetry", "metrics", "cluster", "engine"]
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    p.hash_iter = artifact_crate;
+    p.float_fmt = artifact_crate;
+
+    // D04: everywhere except the seeded simulation RNG itself.
+    p.rng = rel != "crates/sim/src/rng.rs";
+
+    // P01: binary code only — `src/bin/*` and crate `main.rs`.
+    p.io_unwrap = rel.contains("/src/bin/") || rel.ends_with("src/main.rs");
+
+    Some(p)
+}
+
+/// Recursively collects files under `dir` whose name passes `keep`,
+/// skipping `target/` and hidden directories. Results are sorted so the
+/// pass itself is deterministic.
+fn collect_files(dir: &Path, keep: &dyn Fn(&Path) -> bool, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_files(&path, keep, out);
+        } else if keep(&path) {
+            out.push(path);
+        }
+    }
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lints every `.rs` file and every `Cargo.toml` under `root`. Returns
+/// all diagnostics, sorted by file, line, rule. I/O errors on individual
+/// files become diagnostics too — a file the linter cannot read is a
+/// file the linter cannot vouch for.
+pub fn run_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut files = Vec::new();
+    collect_files(
+        root,
+        &|p| {
+            p.extension().is_some_and(|e| e == "rs")
+                || p.file_name().is_some_and(|n| n == "Cargo.toml")
+        },
+        &mut files,
+    );
+
+    let mut out = Vec::new();
+    for path in files {
+        let rel = relative(root, &path);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                out.push(Diagnostic {
+                    file: rel,
+                    line: 0,
+                    rule: "S00",
+                    message: format!("cannot read: {e}"),
+                });
+                continue;
+            }
+        };
+        if rel.ends_with("Cargo.toml") {
+            out.extend(manifest::check_manifest(&rel, &text));
+        } else if let Some(policy) = policy_for(&rel) {
+            let lexed = lexer::lex(&text);
+            out.extend(rules::check_file(&rel, &lexed, policy));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Finds the workspace root by walking up from `start` until a directory
+/// containing a `Cargo.toml` with a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_exemptions_match_the_issue() {
+        // profiler and bench may read wall clocks
+        assert!(
+            !policy_for("crates/telemetry/src/profiler.rs")
+                .unwrap()
+                .timing
+        );
+        assert!(
+            !policy_for("crates/bench/src/bin/experiments.rs")
+                .unwrap()
+                .timing
+        );
+        assert!(policy_for("crates/engine/src/engine.rs").unwrap().timing);
+
+        // artifact crates get D02/D03; others do not
+        assert!(policy_for("crates/trace/src/event.rs").unwrap().float_fmt);
+        assert!(
+            policy_for("crates/metrics/src/collector.rs")
+                .unwrap()
+                .hash_iter
+        );
+        assert!(!policy_for("crates/sim/src/clock.rs").unwrap().hash_iter);
+
+        // the sim RNG is the one sanctioned randomness source
+        assert!(!policy_for("crates/sim/src/rng.rs").unwrap().rng);
+        assert!(policy_for("crates/core/src/lib.rs").unwrap().rng);
+
+        // P01 applies to binaries only
+        assert!(
+            policy_for("crates/bench/src/bin/promcheck.rs")
+                .unwrap()
+                .io_unwrap
+        );
+        assert!(!policy_for("crates/trace/src/sink.rs").unwrap().io_unwrap);
+
+        // fixtures and tests are skipped wholesale
+        assert!(policy_for("crates/lint/tests/fixtures/d01_time.rs").is_none());
+        assert!(policy_for("crates/trace/tests/golden.rs").is_none());
+    }
+}

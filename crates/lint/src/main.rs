@@ -1,0 +1,32 @@
+//! `odlb-lint` binary: lints the workspace and exits nonzero on any
+//! finding. Run as `cargo run --release -p odlb-lint` (CI does) or let
+//! tier-1 `cargo test -q` reach it through the `workspace_clean`
+//! integration test.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let start = std::env::args().nth(1).map_or_else(
+        || std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
+        PathBuf::from,
+    );
+    let Some(root) = odlb_lint::find_workspace_root(&start) else {
+        eprintln!(
+            "odlb-lint: no workspace root (Cargo.toml with [workspace]) above {}",
+            start.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let diags = odlb_lint::run_workspace(&root);
+    if diags.is_empty() {
+        println!("odlb-lint: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    println!("odlb-lint: {} violation(s)", diags.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,10 @@
+// Fixture: D01 violations — wall-clock time. Never compiled; lexed by
+// tests/lint_rules.rs, which asserts exact (line, rule) diagnostics.
+
+use std::time::Instant;
+
+fn elapsed() -> u64 {
+    let start = Instant::now();
+    let _ = SystemTime::now();
+    start.elapsed().as_millis() as u64
+}

@@ -1,0 +1,17 @@
+// Fixture: D03 violations — floats formatted without explicit precision.
+
+fn render(latency: f64) -> String {
+    format!("{latency}")
+}
+
+fn render_positional(ratio: f64) -> String {
+    format!("{}", ratio)
+}
+
+fn with_precision_is_fine(latency: f64) -> String {
+    format!("{latency:.6}")
+}
+
+fn int_cast_is_fine(latency: f64) -> String {
+    format!("{}", latency as u64)
+}

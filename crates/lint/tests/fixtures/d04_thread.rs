@@ -1,0 +1,7 @@
+// Fixture: D04 violations — spawned threads and ambient randomness.
+
+fn run() {
+    std::thread::spawn(|| work());
+    let seed = rand::random::<u64>();
+    let h = thread_rng();
+}

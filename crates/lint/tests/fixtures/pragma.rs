@@ -1,0 +1,19 @@
+// Fixture: suppression pragma semantics.
+
+fn suppressed() -> u64 {
+    // odlb-lint: allow(D01) — fixture exercises a justified suppression
+    Instant::now().elapsed().as_secs()
+}
+
+fn reasonless() -> u64 {
+    // odlb-lint: allow(D01)
+    Instant::now().elapsed().as_secs()
+}
+
+// odlb-lint: allow(D04) — stale pragma suppressing nothing
+fn unused_pragma() {}
+
+fn wrong_rule() {
+    // odlb-lint: allow(D04) — wrong rule for the line below
+    let t = Instant::now();
+}

@@ -1,0 +1,23 @@
+// Fixture: rule tokens hidden where they must NOT fire — inside string
+// literals, nested block comments and raw strings — plus one real
+// violation at the end so the test proves the file was actually linted.
+
+/* Instant::now() inside a block comment
+   /* and SystemTime inside a nested one */
+   still commented here: thread::spawn
+*/
+
+fn decoys() -> Vec<String> {
+    let a = "Instant::now() in a string";
+    let b = "std::time::SystemTime in a string";
+    let c = r#"thread::spawn and rand::random in a raw string"#;
+    let d = r##"raw with "# inside: HashMap.iter()"##;
+    let e = 'x';
+    let f: &'static str = "lifetime then Instant::now in a string";
+    vec![a.into(), b.into(), c.into(), d.into(), e.to_string(), f.into()]
+}
+
+// The one real violation in this file:
+fn real() -> SystemTime {
+    SystemTime::now()
+}

@@ -11,7 +11,7 @@ use crate::ids::ClassId;
 use crate::kinds::{MetricKind, MetricVector};
 use crate::logbuf::QueryLogRecord;
 use odlb_sim::{SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 #[derive(Clone, Debug, Default)]
 struct ClassAccumulator {
@@ -29,7 +29,7 @@ struct ClassAccumulator {
 #[derive(Clone, Debug)]
 pub struct ClassStatsCollector {
     interval_start: SimTime,
-    per_class: HashMap<ClassId, ClassAccumulator>,
+    per_class: BTreeMap<ClassId, ClassAccumulator>,
 }
 
 /// The closed interval's per-class metric vectors.
@@ -88,7 +88,7 @@ impl ClassStatsCollector {
     pub fn new(start: SimTime) -> Self {
         ClassStatsCollector {
             interval_start: start,
-            per_class: HashMap::new(),
+            per_class: BTreeMap::new(),
         }
     }
 
@@ -122,7 +122,7 @@ impl ClassStatsCollector {
         let start = self.interval_start;
         let duration = now.since(start).as_secs_f64().max(1e-9);
         let mut per_class = BTreeMap::new();
-        for (class, acc) in self.per_class.drain() {
+        for (class, acc) in std::mem::take(&mut self.per_class) {
             if acc.queries == 0 {
                 continue;
             }

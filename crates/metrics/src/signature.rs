@@ -13,7 +13,7 @@ use crate::ids::{AppId, ClassId, ServerId};
 use crate::kinds::MetricVector;
 use odlb_mrc::MrcParams;
 use odlb_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The last-known-good record for one query context on one server.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -32,7 +32,7 @@ pub struct StableStateSignature {
 /// Per-(server, class) stable-state storage.
 #[derive(Clone, Debug, Default)]
 pub struct StableStateStore {
-    map: HashMap<(ServerId, ClassId), StableStateSignature>,
+    map: BTreeMap<(ServerId, ClassId), StableStateSignature>,
 }
 
 impl StableStateStore {

@@ -9,7 +9,7 @@
 use crate::ids::ClassId;
 use odlb_mrc::{MattsonTracker, MissRatioCurve};
 use odlb_storage::PageId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A bounded ring of recent page accesses for one query class.
 #[derive(Clone, Debug)]
@@ -75,7 +75,7 @@ impl AccessWindow {
 #[derive(Clone, Debug)]
 pub struct WindowRegistry {
     capacity_per_class: usize,
-    windows: HashMap<ClassId, AccessWindow>,
+    windows: BTreeMap<ClassId, AccessWindow>,
 }
 
 impl WindowRegistry {
@@ -84,7 +84,7 @@ impl WindowRegistry {
     pub fn new(capacity_per_class: usize) -> Self {
         WindowRegistry {
             capacity_per_class,
-            windows: HashMap::new(),
+            windows: BTreeMap::new(),
         }
     }
 

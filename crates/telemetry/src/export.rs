@@ -21,6 +21,7 @@ fn render_value(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
+        // odlb-lint: allow(D03) — this IS the shared exposition formatter; shortest-roundtrip Display is deterministic per bit pattern
         format!("{v}")
     }
 }
@@ -191,6 +192,7 @@ pub fn validate_prometheus(text: &str) -> Result<ExpositionStats, String> {
         stats.samples += 1;
         match types[&family].as_str() {
             "counter" if value < 0.0 || value != value.trunc() => {
+                // odlb-lint: allow(D03) — validator error message, not an exported artifact
                 return Err(err(format!("counter '{name}' has non-count value {value}")));
             }
             "histogram" => {
@@ -293,6 +295,7 @@ pub fn validate_csv(text: &str) -> Result<usize, String> {
             let key = (metric.to_string(), fields[2].to_string());
             if let Some(prev) = monotone.get(&key) {
                 if value < *prev {
+                    // odlb-lint: allow(D03) — validator error message, not an exported artifact
                     return Err(err(format!(
                         "counter {metric}{{{}}} decreased: {prev} -> {value}",
                         fields[2]
