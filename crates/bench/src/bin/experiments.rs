@@ -20,10 +20,20 @@
 //! derive only from simulation state, so two same-seed runs write
 //! byte-identical artifacts. `fig3-mini` is a miniature fig3 used by the
 //! CI smoke test.
+//!
+//! `--serve <port>` additionally serves the live exposition at
+//! `GET http://127.0.0.1:<port>/metrics` while the run progresses
+//! (port 0 = ephemeral; the bound port is printed on startup). The
+//! endpoint reads a published copy of the exposition, never simulation
+//! state, so serving leaves artifacts and digests byte-identical.
+//! `--serve-hold <ms>` keeps the process alive after the run until one
+//! scrape lands (or the timeout passes) — the CI smoke test uses it to
+//! fetch without racing the run.
 
 use odlb_bench::experiments::*;
-use odlb_telemetry::{SharedSpanProfiler, SpanProfiler, Telemetry};
+use odlb_telemetry::{MetricsServer, SharedSpanProfiler, SpanProfiler, Telemetry};
 use odlb_trace::{DigestSink, JsonlSink, Tracer};
+use std::rc::Rc;
 
 /// Builds a tracer for one traced figure: always a digest, plus a JSONL
 /// file when `--trace` was given. Returns the tracer and the digest
@@ -64,10 +74,19 @@ fn print_digest(figure: &str, digest: &std::cell::RefCell<DigestSink>) {
 }
 
 /// Builds the telemetry handle and profiler for one figure: attached
-/// when `--metrics` was given, inactive (and therefore free) otherwise.
-fn instrumented(metrics_dir: Option<&str>) -> (Telemetry, Option<SharedSpanProfiler>) {
-    if metrics_dir.is_some() {
-        (Telemetry::attached(), Some(SpanProfiler::shared()))
+/// when `--metrics` or `--serve` was given, inactive (and therefore
+/// free) otherwise. With a server, every interval snapshot also
+/// publishes the exposition to the live endpoint.
+fn instrumented(
+    metrics_dir: Option<&str>,
+    server: Option<&Rc<MetricsServer>>,
+) -> (Telemetry, Option<SharedSpanProfiler>) {
+    if metrics_dir.is_some() || server.is_some() {
+        let mut telemetry = Telemetry::attached();
+        if let Some(server) = server {
+            telemetry = telemetry.with_server(Rc::clone(server));
+        }
+        (telemetry, Some(SpanProfiler::shared()))
     } else {
         (Telemetry::inactive(), None)
     }
@@ -112,6 +131,8 @@ fn main() {
     let mut arg = String::new();
     let mut trace_path: Option<String> = None;
     let mut metrics_dir: Option<String> = None;
+    let mut serve_port: Option<u16> = None;
+    let mut serve_hold_ms: u64 = 0;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--trace" {
@@ -128,6 +149,20 @@ fn main() {
             }
             metrics_dir = Some(args[i + 1].clone());
             i += 2;
+        } else if args[i] == "--serve" {
+            let Some(port) = args.get(i + 1).and_then(|p| p.parse().ok()) else {
+                eprintln!("--serve requires a port (0 = ephemeral)");
+                std::process::exit(2);
+            };
+            serve_port = Some(port);
+            i += 2;
+        } else if args[i] == "--serve-hold" {
+            let Some(ms) = args.get(i + 1).and_then(|p| p.parse().ok()) else {
+                eprintln!("--serve-hold requires a duration in milliseconds");
+                std::process::exit(2);
+            };
+            serve_hold_ms = ms;
+            i += 2;
         } else if arg.is_empty() {
             arg = args[i].clone();
             i += 1;
@@ -139,6 +174,17 @@ fn main() {
     if arg.is_empty() {
         arg = "all".to_string();
     }
+    let server: Option<Rc<MetricsServer>> =
+        serve_port.map(|port| match MetricsServer::bind(port) {
+            Ok(server) => {
+                println!("serving /metrics on 127.0.0.1:{}", server.port());
+                Rc::new(server)
+            }
+            Err(e) => {
+                eprintln!("--serve {port}: cannot bind: {e}");
+                std::process::exit(2);
+            }
+        });
     let all = arg == "all";
     let mut ran = false;
 
@@ -167,7 +213,7 @@ fn main() {
             "Fig. 3 — CPU saturation under sinusoid load"
         });
         let (tracer, digest) = traced(trace_path.as_deref(), name, all);
-        let (telemetry, profiler) = instrumented(metrics_dir.as_deref());
+        let (telemetry, profiler) = instrumented(metrics_dir.as_deref(), server.as_ref());
         let start = std::time::Instant::now();
         let r = if mini {
             fig3::run_instrumented(
@@ -201,7 +247,7 @@ fn main() {
         ran = true;
         banner("Fig. 4 — dropping the O_DATE index");
         let (tracer, digest) = traced(trace_path.as_deref(), "fig4", all);
-        let (telemetry, profiler) = instrumented(metrics_dir.as_deref());
+        let (telemetry, profiler) = instrumented(metrics_dir.as_deref(), server.as_ref());
         let start = std::time::Instant::now();
         let r = fig4::run_instrumented(tracer, telemetry.clone(), profiler.clone(), 50, 12, 15);
         let wall = start.elapsed();
@@ -297,6 +343,23 @@ fn main() {
              ablation-mrc-approx all"
         );
         std::process::exit(2);
+    }
+
+    // Keep the endpoint up after the run until a scraper fetches the
+    // final exposition (bounded by --serve-hold), so an external check
+    // never races the run's completion.
+    if let Some(server) = &server {
+        if serve_hold_ms > 0 {
+            println!(
+                "holding /metrics on 127.0.0.1:{} for up to {serve_hold_ms}ms (waiting for one scrape)",
+                server.port()
+            );
+            if server.await_scrapes(1, std::time::Duration::from_millis(serve_hold_ms)) {
+                println!("scraped {} time(s); shutting down", server.scrape_count());
+            } else {
+                println!("no scrape within {serve_hold_ms}ms; shutting down");
+            }
+        }
     }
 }
 

@@ -1,7 +1,8 @@
-//! Validates telemetry artifacts written by `experiments --metrics`.
+//! Validates telemetry artifacts written by `experiments --metrics`,
+//! or a live exposition served by `experiments --serve`.
 //!
 //! ```text
-//! promcheck <file.prom|file.csv> [more files ...]
+//! promcheck <file.prom|file.csv|http://host:port/metrics> [more ...]
 //! ```
 //!
 //! `.prom` files are checked against the Prometheus text exposition
@@ -10,24 +11,74 @@
 //! bucket bounds with non-decreasing cumulative counts, `+Inf` equal to
 //! `_count`). `.csv` files are checked for the long-format header, field
 //! count, non-decreasing timestamps and per-series monotone counters.
-//! Exits non-zero on the first invalid file, so CI can gate on it.
+//! `http://` arguments are fetched over a plain socket (no external
+//! HTTP client) and validated as expositions; an empty exposition is
+//! rejected, so the CI scrape smoke test fails if it fetches before the
+//! run published anything. Exits non-zero on the first invalid input.
 
 use odlb_telemetry::{validate_csv, validate_prometheus};
+use std::io::{Read, Write};
+
+/// Fetches `http://host:port/path` with a raw one-shot GET. Returns the
+/// response body, or a description of what went wrong.
+fn fetch_url(url: &str) -> Result<String, String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| "only http:// URLs are supported".to_string())?;
+    let (host, path) = match rest.split_once('/') {
+        Some((host, path)) => (host, format!("/{path}")),
+        None => (rest, "/metrics".to_string()),
+    };
+    let mut stream =
+        std::net::TcpStream::connect(host).map_err(|e| format!("cannot connect to {host}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| format!("cannot set read timeout: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed HTTP response".to_string())?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("unexpected status line: {status}"));
+    }
+    Ok(body.to_string())
+}
 
 fn main() {
     let files: Vec<String> = std::env::args().skip(1).collect();
     if files.is_empty() {
-        eprintln!("usage: promcheck <file.prom|file.csv> [more files ...]");
+        eprintln!("usage: promcheck <file.prom|file.csv|http://host:port/metrics> [more ...]");
         std::process::exit(2);
     }
     let mut failed = false;
     for file in &files {
-        let content = match std::fs::read_to_string(file) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("{file}: cannot read: {e}");
-                failed = true;
-                continue;
+        let is_url = file.starts_with("http://");
+        let content = if is_url {
+            match fetch_url(file) {
+                Ok(body) => body,
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        } else {
+            match std::fs::read_to_string(file) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{file}: cannot read: {e}");
+                    failed = true;
+                    continue;
+                }
             }
         };
         if file.ends_with(".csv") {
@@ -40,6 +91,10 @@ fn main() {
             }
         } else {
             match validate_prometheus(&content) {
+                Ok(stats) if is_url && stats.families == 0 => {
+                    eprintln!("{file}: INVALID: live exposition is empty");
+                    failed = true;
+                }
                 Ok(stats) => println!(
                     "{file}: ok ({} families, {} samples, {} histograms)",
                     stats.families, stats.samples, stats.histograms

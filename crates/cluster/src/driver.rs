@@ -19,7 +19,7 @@ use odlb_metrics::{AppId, ClassId, IntervalReport, QueryLogRecord, ServerId, Sla
 use odlb_mrc::MissRatioCurve;
 use odlb_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use odlb_storage::{DiskModel, DomainId, SharedIoPath};
-use odlb_telemetry::Telemetry;
+use odlb_telemetry::{LogLinearHistogram, Telemetry};
 use odlb_trace::{TraceEvent, Tracer};
 use odlb_workload::{ClientConfig, ClientPool, LoadFunction, WorkloadSpec};
 use std::collections::BTreeMap;
@@ -696,7 +696,38 @@ impl Simulation {
             }
             state.io.export_telemetry(t, &server);
         }
-        t.snapshot(end.as_micros());
+        // Cluster-wide per-class latency distribution: merge each
+        // replica's cumulative histogram (the paper's SLA is stated
+        // against the class, not any one replica). Rebuilt from scratch
+        // every interval via `replace` — monotone because the inputs
+        // are cumulative and retired instances keep their engines.
+        if t.is_active() {
+            let mut merged: BTreeMap<ClassId, LogLinearHistogram> = BTreeMap::new();
+            for inst in &self.instances {
+                for (class, h) in inst.engine.class_latency_histograms() {
+                    h.with(|src| {
+                        merged
+                            .entry(class)
+                            .or_insert_with(|| LogLinearHistogram::new(src.grouping_power()))
+                            .merge(src)
+                    });
+                }
+            }
+            for (class, hist) in merged {
+                let label = class.to_string();
+                if let Some(h) = t.histogram(
+                    "odlb_cluster_query_latency_us",
+                    "Cluster-wide per-class latency, merged across replicas (simulated microseconds).",
+                    &[("class", label.as_str())],
+                ) {
+                    h.replace(hist);
+                }
+            }
+        }
+        // Stamp the snapshot with the same seq `close_interval` puts in
+        // its `interval_closed` trace event (the increment happens after
+        // this call), so CSV rows join to decision traces.
+        t.snapshot(end.as_micros(), self.interval_seq);
     }
 
     fn handle(&mut self, now: SimTime, event: Event) {
@@ -1117,8 +1148,46 @@ mod tests {
         odlb_telemetry::validate_csv(&csv).expect("valid csv");
         let snaps = t.with_registry(|r| r.snapshots().len()).unwrap();
         assert_eq!(snaps, 3, "one snapshot per closed interval");
-        assert!(csv.contains("10.000000,"));
-        assert!(csv.contains("30.000000,"));
+        // Snapshots are stamped with the interval seq, so CSV rows join
+        // to `interval_closed` trace events.
+        assert!(csv.contains("10.000000,0,"));
+        assert!(csv.contains("20.000000,1,"));
+        assert!(csv.contains("30.000000,2,"));
+    }
+
+    #[test]
+    fn cluster_histograms_merge_per_class_counts_across_replicas() {
+        let (mut sim, app) = small_sim(8);
+        let second = sim.add_instance(ServerId(0), DomainId(1), EngineConfig::default());
+        sim.assign_replica(app, second);
+        let t = odlb_telemetry::Telemetry::attached();
+        sim.set_telemetry(t.clone());
+        for _ in 0..3 {
+            sim.run_interval();
+        }
+        let (per_instance, cluster): (u64, u64) = t
+            .with_registry(|r| {
+                let mut per_instance = 0;
+                let mut cluster = 0;
+                for row in r.sample_rows() {
+                    if row.name == "odlb_query_latency_us_count" {
+                        per_instance += row.value as u64;
+                    }
+                    if row.name == "odlb_cluster_query_latency_us_count" {
+                        cluster += row.value as u64;
+                    }
+                }
+                (per_instance, cluster)
+            })
+            .unwrap();
+        assert!(cluster > 0, "merged histogram must carry samples");
+        assert_eq!(
+            cluster, per_instance,
+            "cluster-wide counts must equal the sum over replicas"
+        );
+        let prom = t.render_prometheus().unwrap();
+        odlb_telemetry::validate_prometheus(&prom).expect("valid exposition");
+        assert!(prom.contains("odlb_cluster_query_latency_us_count{class=\""));
     }
 
     #[test]

@@ -104,6 +104,16 @@ impl DbEngine {
         self.config
     }
 
+    /// Per-class latency histogram handles this engine has registered,
+    /// in class order. The cluster driver merges these across replicas
+    /// at export time into the cluster-wide distribution the paper's
+    /// SLA is stated against. Empty when telemetry is inactive.
+    pub fn class_latency_histograms(
+        &self,
+    ) -> impl Iterator<Item = (ClassId, &odlb_telemetry::Histogram)> + '_ {
+        self.series.iter().map(|(class, s)| (*class, &s.latency))
+    }
+
     /// Executes a query arriving at `now`.
     ///
     /// The page sequence is played through the buffer pool immediately

@@ -45,8 +45,13 @@ pub fn policy_for(rel: &str) -> Option<Policy> {
     }
 
     // D01: wall-clock time, except the overhead profiler (whose whole
-    // job is measuring wall time) and the bench harness.
-    p.timing = rel != "crates/telemetry/src/profiler.rs" && !rel.starts_with("crates/bench/");
+    // job is measuring wall time), the live scrape endpoint (socket
+    // timeouts and scrape-await deadlines are wall-clock by nature, and
+    // the listener only ever reads a published copy of the exposition —
+    // nothing flows back into simulation state) and the bench harness.
+    let serve_side =
+        rel == "crates/telemetry/src/profiler.rs" || rel == "crates/telemetry/src/serve.rs";
+    p.timing = !serve_side && !rel.starts_with("crates/bench/");
 
     // D02/D03: crates whose output feeds digests or exported artifacts.
     let artifact_crate = ["trace", "telemetry", "metrics", "cluster", "engine"]
@@ -55,8 +60,11 @@ pub fn policy_for(rel: &str) -> Option<Policy> {
     p.hash_iter = artifact_crate;
     p.float_fmt = artifact_crate;
 
-    // D04: everywhere except the seeded simulation RNG itself.
-    p.rng = rel != "crates/sim/src/rng.rs";
+    // D04: everywhere except the seeded simulation RNG itself and the
+    // scrape endpoint's listener thread (the one sanctioned thread in
+    // the workspace; see the D01 note above for why it cannot perturb
+    // determinism).
+    p.rng = rel != "crates/sim/src/rng.rs" && rel != "crates/telemetry/src/serve.rs";
 
     // P01: binary code only — `src/bin/*` and crate `main.rs`.
     p.io_unwrap = rel.contains("/src/bin/") || rel.ends_with("src/main.rs");
@@ -168,6 +176,15 @@ mod tests {
                 .timing
         );
         assert!(policy_for("crates/engine/src/engine.rs").unwrap().timing);
+
+        // the scrape endpoint is the sanctioned home for threads and
+        // socket wall-clock I/O; the rest of telemetry stays strict
+        let serve = policy_for("crates/telemetry/src/serve.rs").unwrap();
+        assert!(!serve.timing);
+        assert!(!serve.rng);
+        let registry = policy_for("crates/telemetry/src/registry.rs").unwrap();
+        assert!(registry.timing);
+        assert!(registry.rng);
 
         // artifact crates get D02/D03; others do not
         assert!(policy_for("crates/trace/src/event.rs").unwrap().float_fmt);

@@ -158,9 +158,19 @@ impl TimeSeries {
     }
 
     /// Appends a point. Time must be non-decreasing.
+    ///
+    /// Panics on out-of-order appends in *every* profile, not just
+    /// debug: a `debug_assert!` here let release builds silently accept
+    /// out-of-order points, corrupting every figure rendered from the
+    /// series. An out-of-order append is always a caller bug (the sim
+    /// clock is monotone), so failing loudly beats clamp-and-count.
     pub fn record(&mut self, at: SimTime, value: f64) {
         if let Some(&(last, _)) = self.points.last() {
-            debug_assert!(at >= last, "time series must be appended in order");
+            assert!(
+                at >= last,
+                "time series {:?} must be appended in order ({at:?} after {last:?})",
+                self.name
+            );
         }
         self.points.push((at, value));
     }
@@ -359,6 +369,17 @@ mod tests {
         let rendered = ts.render_ascii(10);
         assert!(rendered.contains("latency"));
         assert_eq!(rendered.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be appended in order")]
+    fn time_series_rejects_out_of_order_appends_in_every_profile() {
+        // A plain `assert!`, not `debug_assert!`: this test is part of
+        // the release-profile CI run, where the old debug_assert was
+        // compiled out and out-of-order points slipped through.
+        let mut ts = TimeSeries::new("latency");
+        ts.record(SimTime::from_secs(2), 1.0);
+        ts.record(SimTime::from_secs(1), 2.0);
     }
 
     #[test]

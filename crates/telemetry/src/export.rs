@@ -68,21 +68,42 @@ pub fn render_prometheus(registry: &MetricsRegistry) -> String {
     out
 }
 
+/// Converts the canonical `key="value",key="value"` label rendering into
+/// the CSV form `key=value;key=value`. This is a pure format conversion,
+/// not sanitization: the registry rejects `"`, `,` and `;` in label
+/// values at registration time (see `registry::render_labels`), so pair
+/// boundaries are unambiguous and two distinct label sets can never
+/// alias to one CSV key.
+fn csv_labels(labels: &str) -> String {
+    labels
+        .split(',')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            pair.replacen("=\"", "=", 1)
+                .trim_end_matches('"')
+                .to_string()
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
 /// Renders the interval snapshots as a long-format CSV time series:
-/// `time_s,metric,labels,value`, labels as `key=value` pairs joined with
-/// `;` (no quoting needed — label values never contain `;` or `,`).
+/// `time_s,seq,metric,labels,value`. `seq` is the 0-based interval
+/// sequence number, identical to the `seq` of the `interval_closed`
+/// trace event of the same interval — join the two streams on it.
+/// Labels are `key=value` pairs joined with `;`.
 pub fn render_csv(registry: &MetricsRegistry) -> String {
-    let mut out = String::from("time_s,metric,labels,value\n");
+    let mut out = String::from("time_s,seq,metric,labels,value\n");
     for snap in registry.snapshots() {
         let time_s = snap.at_us as f64 / 1e6;
         for row in &snap.rows {
-            let labels = row.labels.replace('"', "").replace(',', ";");
             let _ = writeln!(
                 out,
-                "{:.6},{},{},{}",
+                "{:.6},{},{},{},{}",
                 time_s,
+                snap.seq,
                 row.name,
-                labels,
+                csv_labels(&row.labels),
                 render_value(row.value)
             );
         }
@@ -259,23 +280,25 @@ pub fn validate_prometheus(text: &str) -> Result<ExpositionStats, String> {
     Ok(stats)
 }
 
-/// Validates the CSV time series: the header, four fields per row,
-/// non-decreasing time, parseable finite values, and monotone counters
-/// (`*_total`, `*_count`, `*_sum` series must never decrease over time).
+/// Validates the CSV time series: the header, five fields per row,
+/// non-decreasing time, a non-decreasing integral interval `seq`,
+/// parseable finite values, and monotone counters (`*_total`, `*_count`,
+/// `*_sum` series must never decrease over time).
 pub fn validate_csv(text: &str) -> Result<usize, String> {
     let mut lines = text.lines();
     match lines.next() {
-        Some("time_s,metric,labels,value") => {}
+        Some("time_s,seq,metric,labels,value") => {}
         other => return Err(format!("bad header: {other:?}")),
     }
     let mut last_time = f64::NEG_INFINITY;
+    let mut last_seq = 0u64;
     let mut monotone: BTreeMap<(String, String), f64> = BTreeMap::new();
     let mut rows = 0usize;
     for (no, line) in lines.enumerate() {
         let err = |msg: String| format!("row {}: {msg}", no + 1);
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 4 {
-            return Err(err(format!("expected 4 fields, got {}", fields.len())));
+        if fields.len() != 5 {
+            return Err(err(format!("expected 5 fields, got {}", fields.len())));
         }
         let time: f64 = fields[0]
             .parse()
@@ -284,21 +307,28 @@ pub fn validate_csv(text: &str) -> Result<usize, String> {
             return Err(err("time went backwards".to_string()));
         }
         last_time = time;
-        let value: f64 = fields[3]
+        let seq: u64 = fields[1]
             .parse()
-            .map_err(|_| err(format!("unparseable value '{}'", fields[3])))?;
+            .map_err(|_| err(format!("unparseable seq '{}'", fields[1])))?;
+        if rows > 0 && seq < last_seq {
+            return Err(err(format!("seq went backwards: {last_seq} -> {seq}")));
+        }
+        last_seq = seq;
+        let value: f64 = fields[4]
+            .parse()
+            .map_err(|_| err(format!("unparseable value '{}'", fields[4])))?;
         if !value.is_finite() {
             return Err(err("non-finite value".to_string()));
         }
-        let metric = fields[1];
+        let metric = fields[2];
         if metric.ends_with("_total") || metric.ends_with("_count") || metric.ends_with("_sum") {
-            let key = (metric.to_string(), fields[2].to_string());
+            let key = (metric.to_string(), fields[3].to_string());
             if let Some(prev) = monotone.get(&key) {
                 if value < *prev {
                     // odlb-lint: allow(D03) — validator error message, not an exported artifact
                     return Err(err(format!(
                         "counter {metric}{{{}}} decreased: {prev} -> {value}",
-                        fields[2]
+                        fields[3]
                     )));
                 }
             }
@@ -378,27 +408,46 @@ mod tests {
     #[test]
     fn csv_round_trips_through_validator() {
         let mut reg = sample_registry();
-        reg.snapshot(10_000_000);
+        reg.snapshot(10_000_000, 0);
         reg.counter(
             "odlb_queries_total",
             "Queries executed.",
             &[("app", "app0")],
         )
         .add(8);
-        reg.snapshot(20_000_000);
+        reg.snapshot(20_000_000, 1);
         let csv = render_csv(&reg);
-        assert!(csv.starts_with("time_s,metric,labels,value\n"));
-        assert!(csv.contains("10.000000,odlb_queries_total,app=app0,42"));
-        assert!(csv.contains("20.000000,odlb_queries_total,app=app0,50"));
+        assert!(csv.starts_with("time_s,seq,metric,labels,value\n"));
+        assert!(csv.contains("10.000000,0,odlb_queries_total,app=app0,42"));
+        assert!(csv.contains("20.000000,1,odlb_queries_total,app=app0,50"));
+        // Multi-label series keep every pair, `;`-joined.
+        assert!(csv.contains("odlb_query_latency_us_count,class=app0#8;instance=inst0"));
         let rows = validate_csv(&csv).expect("valid csv");
         assert_eq!(rows, 2 * (1 + 1 + 6));
     }
 
     #[test]
     fn csv_validator_rejects_shrinking_counter() {
-        let bad = "time_s,metric,labels,value\n1.0,x_total,,5\n2.0,x_total,,4\n";
+        let bad = "time_s,seq,metric,labels,value\n1.0,0,x_total,,5\n2.0,1,x_total,,4\n";
         let err = validate_csv(bad).unwrap_err();
         assert!(err.contains("decreased"), "{err}");
+    }
+
+    #[test]
+    fn csv_validator_rejects_backwards_seq() {
+        let bad = "time_s,seq,metric,labels,value\n1.0,1,x,,5\n2.0,0,x,,6\n";
+        let err = validate_csv(bad).unwrap_err();
+        assert!(err.contains("seq went backwards"), "{err}");
+    }
+
+    #[test]
+    fn csv_labels_is_a_pure_format_conversion() {
+        assert_eq!(csv_labels(""), "");
+        assert_eq!(csv_labels("app=\"app0\""), "app=app0");
+        assert_eq!(
+            csv_labels("class=\"app0#8\",instance=\"inst0\""),
+            "class=app0#8;instance=inst0"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ mod export;
 mod histogram;
 mod profiler;
 mod registry;
+mod serve;
 
 pub use export::{
     render_csv, render_prometheus, validate_csv, validate_prometheus, ExpositionStats,
@@ -29,6 +30,7 @@ pub use export::{
 pub use histogram::{LogLinearHistogram, DEFAULT_GROUPING_POWER};
 pub use profiler::{profile_span, PhaseStats, SharedSpanProfiler, SpanProfiler};
 pub use registry::{Counter, FamilyKind, Gauge, Histogram, MetricsRegistry, SampleRow, Snapshot};
+pub use serve::MetricsServer;
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -42,6 +44,11 @@ use std::rc::Rc;
 #[derive(Clone, Default)]
 pub struct Telemetry {
     registry: Option<Rc<RefCell<MetricsRegistry>>>,
+    /// Live scrape endpoint: when set, every interval snapshot also
+    /// publishes a freshly rendered exposition to the server's read-only
+    /// copy. Strictly observation-side — the server never reads the
+    /// registry and nothing flows back.
+    server: Option<Rc<MetricsServer>>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -62,7 +69,18 @@ impl Telemetry {
     pub fn attached() -> Self {
         Telemetry {
             registry: Some(Rc::new(RefCell::new(MetricsRegistry::new()))),
+            server: None,
         }
+    }
+
+    /// Attaches a live scrape endpoint: every interval snapshot publishes
+    /// the current exposition to `server`, and the current state (possibly
+    /// empty) is published immediately so a scrape before the first
+    /// interval still gets a valid (if empty) exposition.
+    pub fn with_server(mut self, server: Rc<MetricsServer>) -> Self {
+        server.publish(self.render_prometheus().unwrap_or_default());
+        self.server = Some(server);
+        self
     }
 
     /// Whether a registry is attached. Emission sites check this before
@@ -92,11 +110,17 @@ impl Telemetry {
             .map(|r| r.borrow_mut().histogram(name, help, labels))
     }
 
-    /// Records an interval snapshot at `at_us` simulation microseconds.
-    /// No-op when inactive.
-    pub fn snapshot(&self, at_us: u64) {
+    /// Records an interval snapshot at `at_us` simulation microseconds,
+    /// stamped with the interval sequence number `seq` (the same value
+    /// the driver puts in its `interval_closed` trace event, so CSV rows
+    /// join to decision traces). Publishes the refreshed exposition to
+    /// the live endpoint, if one is attached. No-op when inactive.
+    pub fn snapshot(&self, at_us: u64, seq: u64) {
         if let Some(r) = &self.registry {
-            r.borrow_mut().snapshot(at_us);
+            r.borrow_mut().snapshot(at_us, seq);
+            if let Some(server) = &self.server {
+                server.publish(render_prometheus(&r.borrow()));
+            }
         }
     }
 
@@ -131,7 +155,7 @@ mod tests {
         assert!(t.histogram("h", "h", &[]).is_none());
         assert!(t.render_prometheus().is_none());
         assert!(t.render_csv().is_none());
-        t.snapshot(0); // must not panic
+        t.snapshot(0, 0); // must not panic
     }
 
     #[test]
@@ -155,10 +179,29 @@ mod tests {
         for v in [100u64, 200, 300_000] {
             h.record(v);
         }
-        t.snapshot(10_000_000);
+        t.snapshot(10_000_000, 0);
         let prom = t.render_prometheus().unwrap();
         validate_prometheus(&prom).expect("valid exposition");
         let csv = t.render_csv().unwrap();
         validate_csv(&csv).expect("valid csv");
+    }
+
+    #[test]
+    fn snapshots_publish_to_an_attached_server() {
+        let server = Rc::new(MetricsServer::bind(0).expect("bind"));
+        let t = Telemetry::attached().with_server(server.clone());
+        let c = t.counter("odlb_events_total", "Events.", &[]).unwrap();
+        c.add(7);
+        t.snapshot(10_000_000, 0);
+        // The published copy is exactly the rendered exposition.
+        use std::io::{Read as _, Write as _};
+        let mut stream =
+            std::net::TcpStream::connect(("127.0.0.1", server.port())).expect("connect");
+        write!(stream, "GET /metrics HTTP/1.1\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let body = response.split_once("\r\n\r\n").expect("body").1;
+        assert_eq!(body, t.render_prometheus().unwrap());
+        assert!(body.contains("odlb_events_total 7"));
     }
 }

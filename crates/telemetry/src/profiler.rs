@@ -46,10 +46,23 @@ impl SpanProfiler {
 
     /// Adds one invocation of `phase` that took `elapsed`.
     pub fn add(&mut self, phase: &'static str, elapsed: Duration) {
+        self.add_n(phase, 1, elapsed, elapsed);
+    }
+
+    /// Adds `calls` invocations of `phase` in bulk: `total` time across
+    /// them, `max_single` for the longest one. Used when merging
+    /// profilers or replaying pre-aggregated timings.
+    pub fn add_n(
+        &mut self,
+        phase: &'static str,
+        calls: u64,
+        total: Duration,
+        max_single: Duration,
+    ) {
         let stats = self.phases.entry(phase).or_default();
-        stats.calls += 1;
-        stats.total += elapsed;
-        stats.max = stats.max.max(elapsed);
+        stats.calls += calls;
+        stats.total += total;
+        stats.max = stats.max.max(max_single);
     }
 
     /// Times `f` under `phase`.
@@ -81,10 +94,20 @@ impl SpanProfiler {
             "phase", "calls", "total", "mean", "max"
         );
         for (name, stats) in &self.phases {
+            // `Duration / u32` is exact, but `calls` is a u64: a plain
+            // `as u32` cast truncates, and calls >= 2^32 would truncate
+            // to a divisor of 0 and panic. Past u32::MAX calls the mean
+            // is computed in f64 instead (sub-nanosecond error at that
+            // scale is far below the report's display precision).
             let mean = if stats.calls == 0 {
                 Duration::ZERO
             } else {
-                stats.total / stats.calls as u32
+                match u32::try_from(stats.calls) {
+                    Ok(calls) => stats.total / calls,
+                    Err(_) => {
+                        Duration::from_secs_f64(stats.total.as_secs_f64() / stats.calls as f64)
+                    }
+                }
             };
             let _ = writeln!(
                 out,
@@ -189,6 +212,28 @@ mod tests {
         let report = p.report(Duration::from_millis(100));
         assert!(report.contains("action_selection"));
         assert!(report.contains("1.00%"));
+    }
+
+    #[test]
+    fn report_survives_call_counts_past_u32_max() {
+        // Regression: the mean used `stats.total / stats.calls as u32`;
+        // with calls >= 2^32 the cast truncated to 0 and the division
+        // panicked. Bulk-inject the count, then one more `add` so the
+        // overflowing total flows through the normal single-call path.
+        let mut p = SpanProfiler::new();
+        p.add_n(
+            "collection",
+            u64::from(u32::MAX),
+            Duration::from_secs(8_590),
+            Duration::from_micros(10),
+        );
+        p.add("collection", Duration::from_micros(2));
+        let stats: BTreeMap<&str, PhaseStats> = p.phases().map(|(n, s)| (n, *s)).collect();
+        assert_eq!(stats["collection"].calls, u64::from(u32::MAX) + 1);
+        let report = p.report(Duration::from_secs(10_000));
+        assert!(report.contains("collection"), "{report}");
+        // 8590s over 2^32 calls is a hair over a 2us mean.
+        assert!(report.contains("2us"), "{report}");
     }
 
     #[test]

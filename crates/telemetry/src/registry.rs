@@ -92,6 +92,15 @@ impl Histogram {
     pub fn with<R>(&self, f: impl FnOnce(&LogLinearHistogram) -> R) -> R {
         f(&self.0.borrow())
     }
+
+    /// Replaces the underlying histogram wholesale. Used by series that
+    /// are *derived* rather than recorded — the cluster driver rebuilds
+    /// its merged per-class histogram from the per-replica ones at every
+    /// interval close, which keeps the series cumulative (and therefore
+    /// monotone) because its inputs are.
+    pub fn replace(&self, h: LogLinearHistogram) {
+        *self.0.borrow_mut() = h;
+    }
 }
 
 /// One labelled series inside a family.
@@ -130,6 +139,10 @@ pub struct SampleRow {
 pub struct Snapshot {
     /// Snapshot time in simulation microseconds.
     pub at_us: u64,
+    /// 0-based interval sequence number — the same value the cluster
+    /// driver stamps on its `interval_closed` trace event, so every CSV
+    /// row-group joins to the decision trace of the same interval.
+    pub seq: u64,
     /// All rows, deterministically ordered.
     pub rows: Vec<SampleRow>,
 }
@@ -141,15 +154,36 @@ pub struct MetricsRegistry {
     snapshots: Vec<Snapshot>,
 }
 
+/// Characters that would corrupt an exposition or alias two label sets
+/// in the CSV rendering: quotes and backslashes break the Prometheus
+/// quoting, newlines break line-oriented formats, and `,`/`;`/`=` are
+/// the separators of both rendered forms.
+const FORBIDDEN_LABEL_CHARS: [char; 6] = ['"', '\\', '\n', ',', ';', '='];
+
 /// Renders a label set canonically: sorted by key, `key="value"` joined
-/// with commas. Values must not contain `"` or `\n`.
+/// with commas.
+///
+/// Validation happens here, once, at series registration: keys must be
+/// `[A-Za-z0-9_]+` and values must not contain any
+/// [`FORBIDDEN_LABEL_CHARS`]. Registering an illegal label panics
+/// immediately instead of silently rewriting the value at export time —
+/// a rewrite could alias two distinct label sets into one exported key
+/// (e.g. `a,b` and `a;b` both becoming `a;b` in the CSV).
 fn render_labels(labels: &[(&str, &str)]) -> String {
     let mut pairs: Vec<(&str, &str)> = labels.to_vec();
     pairs.sort_unstable();
     pairs
         .iter()
         .map(|(k, v)| {
-            debug_assert!(!v.contains('"') && !v.contains('\n'), "bad label value");
+            assert!(
+                !k.is_empty() && k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "metric label key {k:?} must match [A-Za-z0-9_]+"
+            );
+            assert!(
+                !v.contains(FORBIDDEN_LABEL_CHARS),
+                "metric label value {v:?} contains a forbidden character \
+                 (one of \" \\ newline , ; =)"
+            );
             format!("{k}=\"{v}\"")
         })
         .collect::<Vec<_>>()
@@ -268,12 +302,14 @@ impl MetricsRegistry {
         rows
     }
 
-    /// Records an interval snapshot of every series at `at_us` (the
-    /// driver calls this once per closed measurement interval, so the CSV
-    /// time series aligns with the controller's decision points).
-    pub fn snapshot(&mut self, at_us: u64) {
+    /// Records an interval snapshot of every series at `at_us`, stamped
+    /// with the interval sequence number `seq` (the driver calls this
+    /// once per closed measurement interval with the same `seq` it puts
+    /// in the `interval_closed` trace event, so the CSV time series
+    /// joins to the controller's decision points).
+    pub fn snapshot(&mut self, at_us: u64, seq: u64) {
         let rows = self.sample_rows();
-        self.snapshots.push(Snapshot { at_us, rows });
+        self.snapshots.push(Snapshot { at_us, seq, rows });
     }
 
     /// The recorded snapshots.
@@ -385,13 +421,51 @@ mod tests {
         let mut reg = MetricsRegistry::new();
         let c = reg.counter("n", "h", &[]);
         c.inc();
-        reg.snapshot(10_000_000);
+        reg.snapshot(10_000_000, 0);
         c.inc();
-        reg.snapshot(20_000_000);
+        reg.snapshot(20_000_000, 1);
         let snaps = reg.snapshots();
         assert_eq!(snaps.len(), 2);
         assert_eq!(snaps[0].rows[0].value, 1.0);
         assert_eq!(snaps[1].rows[0].value, 2.0);
         assert!(snaps[0].at_us < snaps[1].at_us);
+        assert_eq!((snaps[0].seq, snaps[1].seq), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "forbidden character")]
+    fn label_values_with_separators_are_rejected_at_registration() {
+        let mut reg = MetricsRegistry::new();
+        // Would previously be silently rewritten to `a;b` at CSV export
+        // time, aliasing with a genuine `a;b` label value.
+        reg.counter("c", "h", &[("app", "a,b")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "forbidden character")]
+    fn label_values_with_quotes_are_rejected_at_registration() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("g", "h", &[("app", "a\"b")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "[A-Za-z0-9_]+")]
+    fn label_keys_are_validated() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("c", "h", &[("bad key", "v")]);
+    }
+
+    #[test]
+    fn histogram_replace_swaps_the_shared_cell() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_us", "Latency.", &[]);
+        h.record(10);
+        let mut merged = crate::LogLinearHistogram::default();
+        merged.record(10);
+        merged.record(20);
+        h.replace(merged);
+        assert_eq!(h.with(|h| h.count()), 2);
+        // The registry sees the replacement through the shared handle.
+        assert_eq!(reg.sample_rows()[0].value, 2.0);
     }
 }
