@@ -1,0 +1,42 @@
+//! Microbenchmarks for the ordered worker pool behind `experiments
+//! --jobs`: per-job dispatch overhead (claim → run → ordered commit)
+//! for trivial jobs, sequentially and across worker counts. Figure jobs
+//! run for seconds, so dispatch must stay in the microsecond range for
+//! the pool to be pure win.
+
+use odlb_bench::harness::{black_box, Bench};
+use odlb_bench::runner::{run_ordered, Job};
+
+/// `n` near-trivial jobs (a little arithmetic so the closure cannot be
+/// optimised away entirely).
+fn trivial_jobs(n: usize) -> Vec<Job<u64>> {
+    (0..n as u64)
+        .map(|i| Box::new(move || black_box(i).wrapping_mul(0x9E3779B97F4A7C15)) as Job<u64>)
+        .collect()
+}
+
+fn main() {
+    let mut bench = Bench::named("runner");
+
+    for threads in [1usize, 2, 4] {
+        bench.bench_elements(
+            &format!("runner/dispatch_256_trivial/threads={threads}"),
+            256,
+            || {
+                let mut acc = 0u64;
+                run_ordered(trivial_jobs(256), threads, |_, v| acc = acc.wrapping_add(v));
+                black_box(acc)
+            },
+        );
+    }
+
+    // The commit path alone: jobs are free, the committer folds a value —
+    // bounds the in-order hand-off cost when results are tiny.
+    bench.bench_elements("runner/commit_1k_inline/threads=1", 1_000, || {
+        let mut acc = 0u64;
+        run_ordered(trivial_jobs(1_000), 1, |i, v| {
+            acc = acc.wrapping_add(v ^ i as u64)
+        });
+        black_box(acc)
+    });
+}

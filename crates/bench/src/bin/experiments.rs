@@ -4,138 +4,77 @@
 //! experiments [fig3|fig3-mini|fig4|fig5|fig6|table1|table2|table3|
 //!              ablation-fences|ablation-weights|ablation-coarse|
 //!              ablation-mrc-threshold|ablation-mrc-approx|all]
-//!             [--trace <path>] [--metrics <dir>]
+//!             [--jobs <N>] [--trace <path>] [--metrics <dir>] [--bench-json]
 //! ```
+//!
+//! Every figure is a self-contained job from the registry in
+//! `odlb_bench::suite`; `--jobs <N>` runs up to `N` of them concurrently
+//! on the ordered worker pool in `odlb_bench::runner` (default: one per
+//! hardware thread, `--jobs 1` = fully sequential). Outputs are
+//! committed in canonical sequential order whatever the job count, so
+//! stdout, `--trace` JSONL files, `--metrics` snapshots, and all run
+//! digests are byte-identical to a sequential run — parallelism lives
+//! entirely *between* isolated simulations, never inside one.
 //!
 //! The controller-driven figures (fig3, fig4) run with a decision tracer
 //! attached and print their run digest — the 64-bit FNV-1a fold of the
 //! canonical event stream — so two runs can be compared at a glance.
 //! `--trace <path>` additionally writes the full event stream as JSONL
-//! (when both figures run, the figure name is suffixed to the path).
+//! (when more than one figure runs, the figure name is suffixed to the
+//! path).
 //!
 //! `--metrics <dir>` attaches the runtime telemetry registry to the
 //! controller-driven figures and writes one Prometheus text snapshot
 //! (`<figure>.prom`) and one CSV time series (`<figure>.csv`) per
-//! figure, then prints the controller-overhead report. Metric values
-//! derive only from simulation state, so two same-seed runs write
-//! byte-identical artifacts. `fig3-mini` is a miniature fig3 used by the
-//! CI smoke test.
+//! figure. Metric values derive only from simulation state, so two
+//! same-seed runs write byte-identical artifacts. The controller-
+//! overhead report (real wall-clock timings, merged across all
+//! instrumented figures) goes to *stderr*, keeping stdout deterministic.
+//! `fig3-mini` is a miniature fig3 used by the CI smoke test.
+//!
+//! `--bench-json` records per-figure and total wall-clock time into
+//! `BENCH_experiments.json` (the `Bench::named` JSON shape), with every
+//! entry prefixed `jobs=<N>/`, so the parallel speedup is diffable
+//! across commits.
 //!
 //! `--serve <port>` additionally serves the live exposition at
-//! `GET http://127.0.0.1:<port>/metrics` while the run progresses
-//! (port 0 = ephemeral; the bound port is printed on startup). The
-//! endpoint reads a published copy of the exposition, never simulation
-//! state, so serving leaves artifacts and digests byte-identical.
+//! `GET http://127.0.0.1:<port>/metrics` (port 0 = ephemeral; the bound
+//! port is printed on startup). Each instrumented figure's final
+//! exposition is published when the figure commits, in canonical order,
+//! so serving leaves artifacts and digests byte-identical.
 //! `--serve-hold <ms>` keeps the process alive after the run until one
 //! scrape lands (or the timeout passes) — the CI smoke test uses it to
 //! fetch without racing the run.
 
-use odlb_bench::experiments::*;
-use odlb_telemetry::{MetricsServer, SharedSpanProfiler, SpanProfiler, Telemetry};
-use odlb_trace::{DigestSink, JsonlSink, Tracer};
+use odlb_bench::harness::Bench;
+use odlb_bench::{runner, suite};
+use odlb_telemetry::{MetricsServer, SpanProfiler};
 use std::rc::Rc;
-
-/// Builds a tracer for one traced figure: always a digest, plus a JSONL
-/// file when `--trace` was given. Returns the tracer and the digest
-/// handle to read back after the run.
-fn traced(
-    trace_path: Option<&str>,
-    figure: &str,
-    multiple: bool,
-) -> (Tracer, std::rc::Rc<std::cell::RefCell<DigestSink>>) {
-    let tracer = Tracer::new();
-    if let Some(path) = trace_path {
-        let path = if multiple {
-            format!("{path}.{figure}")
-        } else {
-            path.to_string()
-        };
-        match JsonlSink::create(&path) {
-            Ok(sink) => {
-                tracer.attach(sink);
-            }
-            Err(e) => {
-                eprintln!("{path}: cannot open trace file: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
-    let digest = tracer.attach(DigestSink::new());
-    (tracer, digest)
-}
-
-fn print_digest(figure: &str, digest: &std::cell::RefCell<DigestSink>) {
-    let d = digest.borrow();
-    println!(
-        "{figure} run digest: {:#018x} ({} events)\n",
-        d.digest(),
-        d.events()
-    );
-}
-
-/// Builds the telemetry handle and profiler for one figure: attached
-/// when `--metrics` or `--serve` was given, inactive (and therefore
-/// free) otherwise. With a server, every interval snapshot also
-/// publishes the exposition to the live endpoint.
-fn instrumented(
-    metrics_dir: Option<&str>,
-    server: Option<&Rc<MetricsServer>>,
-) -> (Telemetry, Option<SharedSpanProfiler>) {
-    if metrics_dir.is_some() || server.is_some() {
-        let mut telemetry = Telemetry::attached();
-        if let Some(server) = server {
-            telemetry = telemetry.with_server(Rc::clone(server));
-        }
-        (telemetry, Some(SpanProfiler::shared()))
-    } else {
-        (Telemetry::inactive(), None)
-    }
-}
-
-/// Writes `<dir>/<figure>.prom` and `<dir>/<figure>.csv` and prints the
-/// controller-overhead report. No-op without `--metrics`.
-fn finish_metrics(
-    dir: Option<&str>,
-    figure: &str,
-    telemetry: &Telemetry,
-    profiler: &Option<SharedSpanProfiler>,
-    wall: std::time::Duration,
-) {
-    let Some(dir) = dir else { return };
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("{dir}: cannot create metrics dir: {e}");
-        std::process::exit(1);
-    }
-    let prom_path = std::path::Path::new(dir).join(format!("{figure}.prom"));
-    let csv_path = std::path::Path::new(dir).join(format!("{figure}.csv"));
-    let prom = telemetry.render_prometheus().unwrap_or_default();
-    let csv = telemetry.render_csv().unwrap_or_default();
-    for (path, content) in [(&prom_path, &prom), (&csv_path, &csv)] {
-        if let Err(e) = std::fs::write(path, content) {
-            eprintln!("{}: cannot write: {e}", path.display());
-            std::process::exit(1);
-        }
-    }
-    println!(
-        "metrics: wrote {} and {}",
-        prom_path.display(),
-        csv_path.display()
-    );
-    if let Some(p) = profiler {
-        println!("{}", p.borrow().report(wall));
-    }
-}
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut arg = String::new();
+    let mut jobs: Option<usize> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_dir: Option<String> = None;
+    let mut bench_json = false;
     let mut serve_port: Option<u16> = None;
     let mut serve_hold_ms: u64 = 0;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--trace" {
+        if args[i] == "--jobs" {
+            let Some(n) = args
+                .get(i + 1)
+                .and_then(|p| p.parse().ok())
+                .filter(|&n| n > 0)
+            else {
+                eprintln!("--jobs requires a positive worker count");
+                std::process::exit(2);
+            };
+            jobs = Some(n);
+            i += 2;
+        } else if args[i] == "--trace" {
             if i + 1 >= args.len() {
                 eprintln!("--trace requires a path");
                 std::process::exit(2);
@@ -149,6 +88,9 @@ fn main() {
             }
             metrics_dir = Some(args[i + 1].clone());
             i += 2;
+        } else if args[i] == "--bench-json" {
+            bench_json = true;
+            i += 1;
         } else if args[i] == "--serve" {
             let Some(port) = args.get(i + 1).and_then(|p| p.parse().ok()) else {
                 eprintln!("--serve requires a port (0 = ephemeral)");
@@ -174,6 +116,15 @@ fn main() {
     if arg.is_empty() {
         arg = "all".to_string();
     }
+    let Some(selection) = suite::resolve(&arg) else {
+        eprintln!(
+            "unknown experiment '{arg}'; valid: fig3 fig3-mini fig4 fig5 fig6 table1 table2 table3 \
+             ablation-fences ablation-weights ablation-coarse ablation-mrc-threshold \
+             ablation-mrc-approx all"
+        );
+        std::process::exit(2);
+    };
+    let jobs = jobs.unwrap_or_else(runner::default_jobs);
     let server: Option<Rc<MetricsServer>> =
         serve_port.map(|port| match MetricsServer::bind(port) {
             Ok(server) => {
@@ -185,165 +136,62 @@ fn main() {
                 std::process::exit(2);
             }
         });
-    let all = arg == "all";
-    let mut ran = false;
+    // The metrics directory is created up front (and only it): a bad
+    // `--trace` path must keep failing with a `file: error` exit, not be
+    // silently papered over by creating its parent directories.
+    if let Some(dir) = &metrics_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("{dir}: cannot create metrics dir: {e}");
+            std::process::exit(1);
+        }
+    }
+    let cfg = suite::SuiteConfig {
+        jobs,
+        trace_path,
+        metrics_dir,
+        capture_exposition: server.is_some(),
+    };
 
-    if all || arg == "fig5" {
-        ran = true;
-        banner("Fig. 5 — MRC of BestSeller (normal configuration); paper: acceptable 6982 pages");
-        println!("{}", mrc_common::render(&fig5::run(120)));
-    }
-    if all || arg == "fig6" {
-        ran = true;
-        banner("Fig. 6 — MRC of SearchItemsByRegion; paper: acceptable 7906 pages");
-        println!("{}", mrc_common::render(&fig6::run(300)));
-    }
-    if all || arg == "table1" {
-        ran = true;
-        banner("Table 1 — buffer pool management algorithms (index dropped)");
-        println!("{}", table1::render(&table1::run(3_000)));
-    }
-    if all || arg == "fig3" || arg == "fig3-mini" {
-        ran = true;
-        let mini = arg == "fig3-mini";
-        let name = if mini { "fig3-mini" } else { "fig3" };
-        banner(if mini {
-            "Fig. 3 (miniature smoke run) — CPU saturation under sinusoid load"
-        } else {
-            "Fig. 3 — CPU saturation under sinusoid load"
-        });
-        let (tracer, digest) = traced(trace_path.as_deref(), name, all);
-        let (telemetry, profiler) = instrumented(metrics_dir.as_deref(), server.as_ref());
-        let start = std::time::Instant::now();
-        let r = if mini {
-            fig3::run_instrumented(
-                tracer,
-                telemetry.clone(),
-                profiler.clone(),
-                30,
-                10,
-                30,
-                480,
-                3,
-            )
-        } else {
-            fig3::run_instrumented(
-                tracer,
-                telemetry.clone(),
-                profiler.clone(),
-                64,
-                14,
-                50,
-                450,
-                4,
-            )
-        };
-        let wall = start.elapsed();
-        println!("{}", fig3::render(&r));
-        print_digest(name, &digest);
-        finish_metrics(metrics_dir.as_deref(), name, &telemetry, &profiler, wall);
-    }
-    if all || arg == "fig4" {
-        ran = true;
-        banner("Fig. 4 — dropping the O_DATE index");
-        let (tracer, digest) = traced(trace_path.as_deref(), "fig4", all);
-        let (telemetry, profiler) = instrumented(metrics_dir.as_deref(), server.as_ref());
-        let start = std::time::Instant::now();
-        let r = fig4::run_instrumented(tracer, telemetry.clone(), profiler.clone(), 50, 12, 15);
-        let wall = start.elapsed();
-        println!("{}", fig4::render(&r));
-        print_digest("fig4", &digest);
-        finish_metrics(metrics_dir.as_deref(), "fig4", &telemetry, &profiler, wall);
-    }
-    if all || arg == "table2" {
-        ran = true;
-        banner("Table 2 — memory contention in a shared buffer pool");
-        println!("{}", table2::render(&table2::run(45, 80, 10, 6, 15)));
-    }
-    if all || arg == "table3" {
-        ran = true;
-        banner("Table 3 — I/O contention among VM domains");
-        println!("{}", table3::render(&table3::run(40, 8, 8, 10)));
-    }
-    if all || arg == "ablation-fences" {
-        ran = true;
-        banner("Ablation A1 — fence multiplier sensitivity");
-        let snap = ablations::capture_detection_snapshot(50);
-        println!(
-            "{:>8} {:>10} {:>18}",
-            "inner", "contexts", "flags BestSeller"
-        );
-        for row in ablations::fence_ablation(&snap, &[0.5, 1.0, 1.5, 2.0, 3.0, 6.0]) {
-            println!(
-                "{:>8.1} {:>10} {:>18}",
-                row.inner, row.contexts, row.flags_bestseller
-            );
+    // Figures execute on the worker pool; this closure is the commit
+    // side, invoked in canonical order on the main thread: print the
+    // buffered stdout block, write the buffered artifacts, publish the
+    // live exposition, and fold the figure's profile into the merged
+    // overhead report.
+    let mut merged_profile = SpanProfiler::new();
+    let mut instrumented_wall = Duration::ZERO;
+    let mut any_profile = false;
+    let mut bench = bench_json.then(|| Bench::collector("experiments"));
+    let suite_start = std::time::Instant::now();
+    suite::run_suite(&selection, &cfg, |out| {
+        print!("{}", out.stdout);
+        for (path, bytes) in &out.files {
+            if let Err(e) = std::fs::write(path, bytes) {
+                eprintln!("{}: cannot write: {e}", path.display());
+                std::process::exit(1);
+            }
         }
-        println!();
-    }
-    if all || arg == "ablation-weights" {
-        ran = true;
-        banner("Ablation A2 — impact weighting");
-        let snap = ablations::capture_detection_snapshot(50);
-        println!(
-            "{:>22} {:>10} {:>18} {:>14}",
-            "weighting", "contexts", "flags BestSeller", "separation"
-        );
-        for row in ablations::weight_ablation(&snap) {
-            println!(
-                "{:>22} {:>10} {:>18} {:>14.1}",
-                row.weighting, row.contexts, row.flags_bestseller, row.bestseller_separation
-            );
+        if let (Some(server), Some(exposition)) = (&server, out.publish) {
+            server.publish(exposition);
         }
-        println!();
-    }
-    if all || arg == "ablation-coarse" {
-        ran = true;
-        banner("Ablation A3 — fine-grained vs coarse-grained vs CPU-only");
-        println!(
-            "{:>22} {:>18} {:>14}",
-            "controller", "final latency (s)", "servers used"
-        );
-        for row in ablations::controller_ablation(50, 30, 25) {
-            println!(
-                "{:>22} {:>18.2} {:>14}",
-                row.controller, row.final_latency_s, row.servers_used
-            );
+        if let Some(profile) = &out.profile {
+            merged_profile.merge(profile);
+            instrumented_wall += out.wall;
+            any_profile = true;
         }
-        println!();
-    }
-    if all || arg == "ablation-mrc-threshold" {
-        ran = true;
-        banner("Ablation A4 — MRC acceptability threshold vs BestSeller quota");
-        println!("{:>12} {:>20}", "threshold", "acceptable (pages)");
-        for (t, pages) in
-            ablations::mrc_threshold_ablation(80, &[0.01, 0.02, 0.05, 0.10, 0.15, 0.20])
-        {
-            println!("{t:>12.2} {pages:>20}");
+        if let Some(b) = &mut bench {
+            b.record_wall(&format!("jobs={jobs}/{}", out.name), out.wall);
         }
-        println!();
+    });
+    let total_wall = suite_start.elapsed();
+    if any_profile {
+        // Real wall-clock timings: stderr only, so stdout stays
+        // byte-identical across runs and job counts.
+        eprint!("{}", merged_profile.report(instrumented_wall));
     }
-    if all || arg == "ablation-mrc-approx" {
-        ran = true;
-        banner("Ablation A5 — exact Mattson vs bucketed approximation");
-        println!("{:>8} {:>9} {:>16}", "ratio", "buckets", "max |Δmr|");
-        for row in ablations::tracker_ablation(150, &[1.1, 1.2, 1.5, 2.0, 4.0]) {
-            println!(
-                "{:>8.1} {:>9} {:>16.4}",
-                row.ratio, row.buckets, row.max_deviation
-            );
-        }
-        println!();
+    if let Some(b) = &mut bench {
+        b.record_wall(&format!("jobs={jobs}/total"), total_wall);
     }
-
-    if !ran {
-        eprintln!(
-            "unknown experiment '{arg}'; valid: fig3 fig3-mini fig4 fig5 fig6 table1 table2 table3 \
-             ablation-fences ablation-weights ablation-coarse ablation-mrc-threshold \
-             ablation-mrc-approx all"
-        );
-        std::process::exit(2);
-    }
+    drop(bench); // a collector writes BENCH_experiments.json on drop
 
     // Keep the endpoint up after the run until a scraper fetches the
     // final exposition (bounded by --serve-hold), so an external check
@@ -361,10 +209,4 @@ fn main() {
             }
         }
     }
-}
-
-fn banner(title: &str) {
-    println!("{}", "=".repeat(78));
-    println!("{title}");
-    println!("{}", "=".repeat(78));
 }

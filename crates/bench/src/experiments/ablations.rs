@@ -24,6 +24,120 @@ use odlb_workload::rubis::{rubis_workload, RubisConfig};
 use odlb_workload::tpcw::{bestseller_pattern, tpcw_workload, TpcwConfig, BESTSELLER};
 use odlb_workload::{ClientConfig, LoadFunction};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A1 at paper scale as a self-contained figure job: fence multiplier
+/// sensitivity on the Fig. 4 snapshot.
+pub fn figure_fences() -> String {
+    let snap = capture_detection_snapshot(50);
+    render_fences(&snap, &[0.5, 1.0, 1.5, 2.0, 3.0, 6.0])
+}
+
+/// Renders the A1 table, one line per multiplier.
+pub fn render_fences(snap: &DetectionSnapshot, multipliers: &[f64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>18}",
+        "inner", "contexts", "flags BestSeller"
+    );
+    for row in fence_ablation(snap, multipliers) {
+        let _ = writeln!(
+            out,
+            "{:>8.1} {:>10} {:>18}",
+            row.inner, row.contexts, row.flags_bestseller
+        );
+    }
+    out
+}
+
+/// A2 at paper scale as a self-contained figure job: impact weighting
+/// on/off on the Fig. 4 snapshot.
+pub fn figure_weights() -> String {
+    let snap = capture_detection_snapshot(50);
+    render_weights(&snap)
+}
+
+/// Renders the A2 table.
+pub fn render_weights(snap: &DetectionSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>22} {:>10} {:>18} {:>14}",
+        "weighting", "contexts", "flags BestSeller", "separation"
+    );
+    for row in weight_ablation(snap) {
+        let _ = writeln!(
+            out,
+            "{:>22} {:>10} {:>18} {:>14.1}",
+            row.weighting, row.contexts, row.flags_bestseller, row.bestseller_separation
+        );
+    }
+    out
+}
+
+/// A3 at paper scale as a self-contained figure job: controller
+/// granularity comparison on the Table 2 scenario.
+pub fn figure_coarse() -> String {
+    render_coarse(&controller_ablation(50, 30, 25))
+}
+
+/// Renders the A3 table.
+pub fn render_coarse(rows: &[ControllerAblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>22} {:>18} {:>14}",
+        "controller", "final latency (s)", "servers used"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:>22} {:>18.2} {:>14}",
+            row.controller, row.final_latency_s, row.servers_used
+        );
+    }
+    out
+}
+
+/// A4 at paper scale as a self-contained figure job: acceptability
+/// threshold vs the BestSeller quota.
+pub fn figure_threshold() -> String {
+    render_threshold(&mrc_threshold_ablation(
+        80,
+        &[0.01, 0.02, 0.05, 0.10, 0.15, 0.20],
+    ))
+}
+
+/// Renders the A4 table.
+pub fn render_threshold(rows: &[(f64, usize)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>12} {:>20}", "threshold", "acceptable (pages)");
+    for &(t, pages) in rows {
+        let _ = writeln!(out, "{t:>12.2} {pages:>20}");
+    }
+    out
+}
+
+/// A5 at paper scale as a self-contained figure job: exact Mattson vs
+/// the bucketed approximation.
+pub fn figure_tracker() -> String {
+    render_tracker(&tracker_ablation(150, &[1.1, 1.2, 1.5, 2.0, 4.0]))
+}
+
+/// Renders the A5 table.
+pub fn render_tracker(rows: &[TrackerAblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>8} {:>9} {:>16}", "ratio", "buckets", "max |Δmr|");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:>8.1} {:>9} {:>16.4}",
+            row.ratio, row.buckets, row.max_deviation
+        );
+    }
+    out
+}
 
 /// Captured (current, stable) metric maps from a Fig. 4-style run, the
 /// common input to the detection ablations.

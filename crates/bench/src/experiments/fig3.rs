@@ -108,6 +108,25 @@ pub fn run_with(
     )
 }
 
+/// The paper-scale run as a self-contained figure job: 64 intervals
+/// (14 warm-up), a 50→450-client sinusoid, 4 servers.
+pub fn figure_instrumented(
+    tracer: Tracer,
+    telemetry: Telemetry,
+    profiler: Option<SharedSpanProfiler>,
+) -> Fig3Result {
+    run_instrumented(tracer, telemetry, profiler, 64, 14, 50, 450, 4)
+}
+
+/// The miniature smoke-run job (`fig3-mini`): same scenario at CI scale.
+pub fn figure_mini_instrumented(
+    tracer: Tracer,
+    telemetry: Telemetry,
+    profiler: Option<SharedSpanProfiler>,
+) -> Fig3Result {
+    run_instrumented(tracer, telemetry, profiler, 30, 10, 30, 480, 3)
+}
+
 /// [`run_with`] plus runtime telemetry: the metrics registry is attached
 /// to the driver and controller, and the optional profiler times the
 /// controller phases. Telemetry is observation-only — the result and run

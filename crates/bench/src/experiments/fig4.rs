@@ -75,6 +75,16 @@ pub fn run_with(
     )
 }
 
+/// The paper-scale run as a self-contained figure job: 50 clients,
+/// 12 stable intervals, up to 15 recovery intervals.
+pub fn figure_instrumented(
+    tracer: Tracer,
+    telemetry: Telemetry,
+    profiler: Option<SharedSpanProfiler>,
+) -> Fig4Result {
+    run_instrumented(tracer, telemetry, profiler, 50, 12, 15)
+}
+
 /// [`run_with`] plus runtime telemetry: the metrics registry is attached
 /// to the driver and controller, and the optional profiler times the
 /// controller phases. Telemetry is observation-only — the result and run

@@ -145,6 +145,12 @@ pub fn run(queries: usize) -> Table1Result {
 }
 
 /// Renders the table in the paper's layout.
+/// The paper-scale run as a self-contained figure job: returns the
+/// rendered table the experiments suite prints.
+pub fn figure() -> String {
+    render(&run(3_000))
+}
+
 pub fn render(r: &Table1Result) -> String {
     let mut out = String::new();
     out.push_str(&format!(

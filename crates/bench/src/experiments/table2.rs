@@ -173,6 +173,12 @@ pub fn run(
 }
 
 /// Renders the table in the paper's layout.
+/// The paper-scale run as a self-contained figure job: returns the
+/// rendered table the experiments suite prints.
+pub fn figure() -> String {
+    render(&run(45, 80, 10, 6, 15))
+}
+
 pub fn render(r: &Table2Result) -> String {
     let mut out = String::new();
     out.push_str("Table 2: Effect of memory contention in a shared buffer pool\n\n");

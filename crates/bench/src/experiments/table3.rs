@@ -155,6 +155,12 @@ pub fn run(
 }
 
 /// Renders the table in the paper's layout.
+/// The paper-scale run as a self-contained figure job: returns the
+/// rendered table the experiments suite prints.
+pub fn figure() -> String {
+    render(&run(40, 8, 8, 10))
+}
+
 pub fn render(r: &Table3Result) -> String {
     let mut out = String::new();
     out.push_str("Table 3: Effect of I/O contention among different domains\n\n");

@@ -67,6 +67,31 @@ impl Bench {
         bench
     }
 
+    /// A runner that only records externally measured wall times: no CLI
+    /// filter, no adaptive iteration. The experiments suite uses this to
+    /// log per-figure and total wall clock into `BENCH_<target>.json`
+    /// (written on drop, like [`Bench::named`]).
+    pub fn collector(target: &str) -> Self {
+        Bench {
+            filter: None,
+            target: Some(target.to_string()),
+            results: Vec::new(),
+        }
+    }
+
+    /// Records one externally measured wall time as a single-iteration
+    /// result (mean = min = `wall`). Nothing is printed: wall times are
+    /// nondeterministic and must not perturb deterministic stdout.
+    pub fn record_wall(&mut self, name: &str, wall: Duration) {
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            mean_ns: wall.as_nanos(),
+            min_ns: wall.as_nanos(),
+            iters: 1,
+            elements: 0,
+        });
+    }
+
     /// Times `f`, printing mean and min per-iteration wall time.
     pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
         self.bench_elements(name, 0, f);
@@ -208,6 +233,20 @@ mod tests {
         assert!(json.contains("\"name\": \"alpha\""));
         assert!(json.contains("\"name\": \"beta\""));
         assert!(json.contains("\"ns_per_op\""));
+        // Keep the drop from writing a file during tests.
+        b.target = None;
+    }
+
+    #[test]
+    fn collector_records_wall_times_without_timing() {
+        let mut b = Bench::collector("unit_test");
+        b.record_wall("jobs=1/fig5", Duration::from_millis(12));
+        b.record_wall("jobs=1/total", Duration::from_millis(30));
+        let json = b.json_report();
+        assert!(json.contains("\"target\": \"unit_test\""));
+        assert!(json.contains("\"name\": \"jobs=1/fig5\", \"ns_per_op\": 12000000"));
+        assert!(json.contains("\"name\": \"jobs=1/total\", \"ns_per_op\": 30000000"));
+        assert!(json.contains("\"iters\": 1"));
         // Keep the drop from writing a file during tests.
         b.target = None;
     }

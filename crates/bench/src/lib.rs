@@ -16,8 +16,16 @@
 //! | [`experiments::table2`] | Table 2: shared-pool memory contention and recovery |
 //! | [`experiments::table3`] | Table 3: I/O contention between VM domains |
 //! | [`experiments::ablations`] | A1 fences, A2 weights, A3 fine-vs-coarse, A4 threshold, A5 tracker |
+//!
+//! [`suite`] wraps every figure as a self-contained job returning a
+//! [`suite::FigureOutput`], and [`runner`] provides the ordered worker
+//! pool that runs those jobs concurrently (`experiments --jobs N`) while
+//! committing outputs in canonical sequential order — a parallel run is
+//! byte-identical to a sequential one.
 
 pub mod experiments;
 pub mod harness;
+pub mod runner;
+pub mod suite;
 
 pub use experiments::*;

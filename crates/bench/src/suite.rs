@@ -1,0 +1,359 @@
+//! The figure-job registry behind the `experiments` binary.
+//!
+//! Every paper artifact (fig3–fig6, table1–table3, the ablations) is a
+//! self-contained job: it owns an isolated simulation — its own
+//! `EventQueue`, `SimRng`, tracer, and telemetry registry — and returns
+//! a [`FigureOutput`] bundling its buffered stdout block, run digest
+//! line, and trace/metrics artifact payloads instead of printing and
+//! writing as it goes. [`run_suite`] dispatches the jobs onto the
+//! ordered worker pool in [`crate::runner`]: figures may *execute* in
+//! any order on any worker, but their outputs *commit* strictly in
+//! canonical order, so a `--jobs N` run is byte-identical to a
+//! sequential one. Parallelism lives entirely between simulations,
+//! never inside one (see DESIGN.md, invariants catalogue).
+
+use crate::experiments::*;
+use crate::runner::{run_ordered, Job};
+use odlb_telemetry::{SharedSpanProfiler, SpanProfiler, Telemetry};
+use odlb_trace::{DigestSink, JsonlSink, Tracer};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Canonical figure order: what `all` runs, and the order outputs are
+/// committed in at any job count.
+pub const ALL_FIGURES: [&str; 12] = [
+    "fig5",
+    "fig6",
+    "table1",
+    "fig3",
+    "fig4",
+    "table2",
+    "table3",
+    "ablation-fences",
+    "ablation-weights",
+    "ablation-coarse",
+    "ablation-mrc-threshold",
+    "ablation-mrc-approx",
+];
+
+/// Resolves a command-line selector into the figures it runs: `all`
+/// expands to [`ALL_FIGURES`], `fig3-mini` (a CI-scale fig3 that `all`
+/// does not include) selects itself, any single figure name selects
+/// that figure. Unknown names resolve to `None`.
+pub fn resolve(arg: &str) -> Option<Vec<&'static str>> {
+    if arg == "all" {
+        return Some(ALL_FIGURES.to_vec());
+    }
+    if arg == "fig3-mini" {
+        return Some(vec!["fig3-mini"]);
+    }
+    ALL_FIGURES.iter().find(|f| **f == arg).map(|f| vec![*f])
+}
+
+/// Shared settings for one suite invocation.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteConfig {
+    /// Worker threads; `1` (or a single-figure selection) runs and
+    /// commits inline, which is exactly the sequential behaviour.
+    pub jobs: usize,
+    /// `--trace`: base path for the JSONL event stream, suffixed with
+    /// `.<figure>` when more than one figure is selected.
+    pub trace_path: Option<String>,
+    /// `--metrics`: directory for `<figure>.prom` / `<figure>.csv`.
+    pub metrics_dir: Option<String>,
+    /// `--serve`: capture each instrumented figure's final exposition so
+    /// the caller can publish it to the live endpoint at commit time.
+    pub capture_exposition: bool,
+}
+
+/// Everything one figure produces, buffered so the caller can commit it
+/// in canonical order regardless of execution order.
+#[derive(Debug)]
+pub struct FigureOutput {
+    /// The figure's registry name (`fig3`, `table1`, …).
+    pub name: &'static str,
+    /// The complete stdout block, byte-identical to a sequential run.
+    pub stdout: String,
+    /// Artifact payloads to write at commit time: the trace JSONL and
+    /// the `.prom`/`.csv` snapshots, with their destination paths.
+    pub files: Vec<(PathBuf, Vec<u8>)>,
+    /// The final Prometheus exposition for the live endpoint (only with
+    /// [`SuiteConfig::capture_exposition`] on an instrumented figure).
+    pub publish: Option<String>,
+    /// The figure's controller-phase profile (instrumented figures
+    /// only); the caller merges these into one suite-level report.
+    pub profile: Option<SpanProfiler>,
+    /// Wall-clock time the figure's job took to run.
+    pub wall: Duration,
+}
+
+/// Runs `selection` on up to `cfg.jobs` workers, invoking `commit` once
+/// per figure *in selection order* on the calling thread. Each job owns
+/// an isolated simulation, so every [`FigureOutput`] — and therefore
+/// everything the caller prints or writes — is byte-identical at any
+/// job count.
+pub fn run_suite(
+    selection: &[&'static str],
+    cfg: &SuiteConfig,
+    mut commit: impl FnMut(FigureOutput),
+) {
+    let multiple = selection.len() > 1;
+    let jobs: Vec<Job<FigureOutput>> = selection
+        .iter()
+        .map(|name| figure_job(name, cfg, multiple))
+        .collect();
+    run_ordered(jobs, cfg.jobs.max(1), move |_, out| commit(out));
+}
+
+/// The three-line figure banner, exactly as the sequential runner
+/// printed it.
+fn banner(title: &str) -> String {
+    let bar = "=".repeat(78);
+    format!("{bar}\n{title}\n{bar}\n")
+}
+
+/// A figure with no tracer or telemetry: banner plus rendered body.
+fn plain(
+    name: &'static str,
+    title: &'static str,
+    body: impl FnOnce() -> String + Send + 'static,
+) -> Job<FigureOutput> {
+    Box::new(move || {
+        let start = Instant::now();
+        let body = body();
+        FigureOutput {
+            name,
+            stdout: format!("{}{body}\n", banner(title)),
+            files: Vec::new(),
+            publish: None,
+            profile: None,
+            wall: start.elapsed(),
+        }
+    })
+}
+
+/// A controller-driven figure: runs with a digest (always), a buffered
+/// JSONL sink (with `--trace`), and attached telemetry plus a profiler
+/// (with `--metrics`/`--serve`), reproducing the sequential runner's
+/// stdout block byte for byte.
+fn traced(
+    name: &'static str,
+    title: &'static str,
+    cfg: &SuiteConfig,
+    multiple: bool,
+    run: impl FnOnce(Tracer, Telemetry, Option<SharedSpanProfiler>) -> String + Send + 'static,
+) -> Job<FigureOutput> {
+    let trace_path = cfg.trace_path.as_ref().map(|p| {
+        if multiple {
+            format!("{p}.{name}")
+        } else {
+            p.clone()
+        }
+    });
+    let metrics_dir = cfg.metrics_dir.clone();
+    let capture = cfg.capture_exposition;
+    Box::new(move || {
+        let tracer = Tracer::new();
+        let jsonl = trace_path
+            .as_ref()
+            .map(|_| tracer.attach(JsonlSink::new(Vec::new())));
+        let digest = tracer.attach(DigestSink::new());
+        let (telemetry, profiler) = if metrics_dir.is_some() || capture {
+            (Telemetry::attached(), Some(SpanProfiler::shared()))
+        } else {
+            (Telemetry::inactive(), None)
+        };
+        let start = Instant::now();
+        let body = run(tracer, telemetry.clone(), profiler.clone());
+        let wall = start.elapsed();
+
+        let mut stdout = format!("{}{body}\n", banner(title));
+        {
+            let d = digest.borrow();
+            stdout.push_str(&format!(
+                "{name} run digest: {:#018x} ({} events)\n\n",
+                d.digest(),
+                d.events()
+            ));
+        }
+        let mut files = Vec::new();
+        if let (Some(path), Some(sink)) = (trace_path, jsonl) {
+            files.push((PathBuf::from(path), sink.borrow().writer().clone()));
+        }
+        let publish = if capture {
+            telemetry.render_prometheus()
+        } else {
+            None
+        };
+        if let Some(dir) = metrics_dir {
+            let prom_path = Path::new(&dir).join(format!("{name}.prom"));
+            let csv_path = Path::new(&dir).join(format!("{name}.csv"));
+            let prom = telemetry.render_prometheus().unwrap_or_default();
+            let csv = telemetry.render_csv().unwrap_or_default();
+            stdout.push_str(&format!(
+                "metrics: wrote {} and {}\n",
+                prom_path.display(),
+                csv_path.display()
+            ));
+            files.push((prom_path, prom.into_bytes()));
+            files.push((csv_path, csv.into_bytes()));
+        }
+        let profile = profiler.map(|p| p.borrow().clone());
+        FigureOutput {
+            name,
+            stdout,
+            files,
+            publish,
+            profile,
+            wall,
+        }
+    })
+}
+
+/// Builds the job for one registry name. Callers resolve names through
+/// [`resolve`] first; an unknown name here is a programming error.
+fn figure_job(name: &'static str, cfg: &SuiteConfig, multiple: bool) -> Job<FigureOutput> {
+    match name {
+        "fig5" => plain(
+            name,
+            "Fig. 5 — MRC of BestSeller (normal configuration); paper: acceptable 6982 pages",
+            fig5::figure,
+        ),
+        "fig6" => plain(
+            name,
+            "Fig. 6 — MRC of SearchItemsByRegion; paper: acceptable 7906 pages",
+            fig6::figure,
+        ),
+        "table1" => plain(
+            name,
+            "Table 1 — buffer pool management algorithms (index dropped)",
+            table1::figure,
+        ),
+        "fig3" => traced(
+            name,
+            "Fig. 3 — CPU saturation under sinusoid load",
+            cfg,
+            multiple,
+            |t, tel, p| fig3::render(&fig3::figure_instrumented(t, tel, p)),
+        ),
+        "fig3-mini" => traced(
+            name,
+            "Fig. 3 (miniature smoke run) — CPU saturation under sinusoid load",
+            cfg,
+            multiple,
+            |t, tel, p| fig3::render(&fig3::figure_mini_instrumented(t, tel, p)),
+        ),
+        "fig4" => traced(
+            name,
+            "Fig. 4 — dropping the O_DATE index",
+            cfg,
+            multiple,
+            |t, tel, p| fig4::render(&fig4::figure_instrumented(t, tel, p)),
+        ),
+        "table2" => plain(
+            name,
+            "Table 2 — memory contention in a shared buffer pool",
+            table2::figure,
+        ),
+        "table3" => plain(
+            name,
+            "Table 3 — I/O contention among VM domains",
+            table3::figure,
+        ),
+        "ablation-fences" => plain(
+            name,
+            "Ablation A1 — fence multiplier sensitivity",
+            ablations::figure_fences,
+        ),
+        "ablation-weights" => plain(
+            name,
+            "Ablation A2 — impact weighting",
+            ablations::figure_weights,
+        ),
+        "ablation-coarse" => plain(
+            name,
+            "Ablation A3 — fine-grained vs coarse-grained vs CPU-only",
+            ablations::figure_coarse,
+        ),
+        "ablation-mrc-threshold" => plain(
+            name,
+            "Ablation A4 — MRC acceptability threshold vs BestSeller quota",
+            ablations::figure_threshold,
+        ),
+        "ablation-mrc-approx" => plain(
+            name,
+            "Ablation A5 — exact Mattson vs bucketed approximation",
+            ablations::figure_tracker,
+        ),
+        other => panic!("unknown figure '{other}' (resolve() admits selections)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_expands_all_in_canonical_order() {
+        let all = resolve("all").unwrap();
+        assert_eq!(all, ALL_FIGURES.to_vec());
+    }
+
+    #[test]
+    fn resolve_accepts_every_registry_name_and_mini() {
+        for name in ALL_FIGURES {
+            assert_eq!(resolve(name).unwrap(), vec![name]);
+        }
+        assert_eq!(resolve("fig3-mini").unwrap(), vec!["fig3-mini"]);
+        assert!(resolve("fig7").is_none());
+        assert!(resolve("").is_none());
+    }
+
+    #[test]
+    fn plain_figure_output_has_banner_and_trailing_blank() {
+        let cfg = SuiteConfig {
+            jobs: 1,
+            ..Default::default()
+        };
+        let mut outputs = Vec::new();
+        run_suite(&["ablation-mrc-threshold"], &cfg, |o| outputs.push(o));
+        assert_eq!(outputs.len(), 1);
+        let out = &outputs[0];
+        assert_eq!(out.name, "ablation-mrc-threshold");
+        assert!(out.stdout.starts_with(&"=".repeat(78)));
+        assert!(out.stdout.contains("Ablation A4"));
+        assert!(out.stdout.ends_with("\n\n"));
+        assert!(out.files.is_empty());
+        assert!(out.profile.is_none());
+    }
+
+    #[test]
+    fn traced_figure_buffers_trace_and_metrics_payloads() {
+        let cfg = SuiteConfig {
+            jobs: 1,
+            trace_path: Some("trace.jsonl".to_string()),
+            metrics_dir: Some("metrics".to_string()),
+            capture_exposition: false,
+        };
+        let mut outputs = Vec::new();
+        run_suite(&["fig3-mini"], &cfg, |o| outputs.push(o));
+        let out = outputs.pop().unwrap();
+        assert!(out.stdout.contains("fig3-mini run digest: 0x"));
+        assert!(out.stdout.contains("metrics: wrote"));
+        // Single-figure selection: the trace path is not suffixed.
+        let paths: Vec<String> = out
+            .files
+            .iter()
+            .map(|(p, _)| p.display().to_string())
+            .collect();
+        assert_eq!(paths[0], "trace.jsonl");
+        assert!(paths.contains(&format!(
+            "metrics{}fig3-mini.prom",
+            std::path::MAIN_SEPARATOR
+        )));
+        let (_, jsonl) = &out.files[0];
+        assert!(!jsonl.is_empty(), "trace JSONL payload must be buffered");
+        assert!(out.profile.is_some());
+        assert!(out.publish.is_none());
+    }
+}

@@ -104,11 +104,10 @@ impl Scheduler {
             .unwrap_or(&self.replicas)
     }
 
-    /// Classes currently pinned, sorted.
+    /// Classes currently pinned, in ascending order (`placement` is a
+    /// `BTreeMap`, so its key order is already sorted).
     pub fn pinned_classes(&self) -> Vec<ClassId> {
-        let mut out: Vec<ClassId> = self.placement.keys().copied().collect();
-        out.sort();
-        out
+        self.placement.keys().copied().collect()
     }
 
     /// Routes a read: the least-loaded replica in the class's placement

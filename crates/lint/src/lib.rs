@@ -60,11 +60,16 @@ pub fn policy_for(rel: &str) -> Option<Policy> {
     p.hash_iter = artifact_crate;
     p.float_fmt = artifact_crate;
 
-    // D04: everywhere except the seeded simulation RNG itself and the
-    // scrape endpoint's listener thread (the one sanctioned thread in
-    // the workspace; see the D01 note above for why it cannot perturb
-    // determinism).
-    p.rng = rel != "crates/sim/src/rng.rs" && rel != "crates/telemetry/src/serve.rs";
+    // D04: everywhere except the seeded simulation RNG itself, the
+    // scrape endpoint's listener thread (see the D01 note above for why
+    // it cannot perturb determinism), and the experiment runner's
+    // ordered worker pool — each of its threads owns an entire isolated
+    // simulation and only `Send` results cross back, with outputs
+    // committed in canonical order (parity pinned by
+    // tests/parallel_parity.rs).
+    p.rng = rel != "crates/sim/src/rng.rs"
+        && rel != "crates/telemetry/src/serve.rs"
+        && rel != "crates/bench/src/runner.rs";
 
     // P01: binary code only — `src/bin/*` and crate `main.rs`.
     p.io_unwrap = rel.contains("/src/bin/") || rel.ends_with("src/main.rs");
@@ -198,6 +203,17 @@ mod tests {
         // the sim RNG is the one sanctioned randomness source
         assert!(!policy_for("crates/sim/src/rng.rs").unwrap().rng);
         assert!(policy_for("crates/core/src/lib.rs").unwrap().rng);
+
+        // the ordered worker pool is the only other sanctioned home for
+        // threads; the rest of the bench crate stays strict
+        assert!(!policy_for("crates/bench/src/runner.rs").unwrap().rng);
+        assert!(policy_for("crates/bench/src/suite.rs").unwrap().rng);
+        assert!(policy_for("crates/bench/src/harness.rs").unwrap().rng);
+        assert!(
+            policy_for("crates/bench/src/bin/experiments.rs")
+                .unwrap()
+                .rng
+        );
 
         // P01 applies to binaries only
         assert!(

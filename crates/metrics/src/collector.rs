@@ -75,11 +75,10 @@ impl IntervalReport {
             .sum()
     }
 
-    /// Classes observed this interval, sorted for deterministic iteration.
+    /// Classes observed this interval, in ascending order (`per_class`
+    /// is a `BTreeMap`, so its key order is already sorted).
     pub fn classes(&self) -> Vec<ClassId> {
-        let mut out: Vec<ClassId> = self.per_class.keys().copied().collect();
-        out.sort();
-        out
+        self.per_class.keys().copied().collect()
     }
 }
 

@@ -88,14 +88,13 @@ impl StableStateStore {
         server: ServerId,
         app: AppId,
     ) -> Vec<(ClassId, StableStateSignature)> {
-        let mut out: Vec<_> = self
-            .map
+        // `map` is a `BTreeMap` keyed by `(server, class)`: filtering to
+        // one server leaves the classes already in ascending order.
+        self.map
             .iter()
             .filter(|((s, c), _)| *s == server && c.app == app)
             .map(|((_, c), sig)| (*c, *sig))
-            .collect();
-        out.sort_by_key(|(c, _)| *c);
-        out
+            .collect()
     }
 
     /// Forgets a context (class re-placed away from the server).

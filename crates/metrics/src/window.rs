@@ -106,11 +106,10 @@ impl WindowRegistry {
         self.windows.remove(&class);
     }
 
-    /// Classes with live windows, sorted.
+    /// Classes with live windows, in ascending order (`windows` is a
+    /// `BTreeMap`, so its key order is already sorted).
     pub fn classes(&self) -> Vec<ClassId> {
-        let mut out: Vec<ClassId> = self.windows.keys().copied().collect();
-        out.sort();
-        out
+        self.windows.keys().copied().collect()
     }
 }
 

@@ -70,10 +70,17 @@ pub struct MattsonTracker<K> {
 
 impl<K: Copy + Eq + Hash> MattsonTracker<K> {
     /// Creates a tracker recording distances up to `cap_pages` exactly.
+    ///
+    /// The initial Fenwick tree is sized from `cap_pages` rather than a
+    /// fixed constant: `recompute_mrc` builds one small tracker per
+    /// problem class, and a fixed 1024-slot tree over-allocated every
+    /// tracker whose cap is a few dozen pages. A tracker that outgrows
+    /// the initial tree rebuilds densely with headroom (`rebuild` keeps
+    /// the larger 4096 floor to amortise repeated growth).
     pub fn new(cap_pages: usize) -> Self {
         MattsonTracker {
             last_slot: HashMap::new(),
-            marks: Fenwick::with_len(1024),
+            marks: Fenwick::with_len(((cap_pages + 1) * 2).next_power_of_two().max(8)),
             next_slot: 1,
             curve: MissRatioCurve::new(cap_pages),
         }
@@ -82,6 +89,12 @@ impl<K: Copy + Eq + Hash> MattsonTracker<K> {
     /// Number of distinct keys seen and still tracked.
     pub fn distinct_keys(&self) -> usize {
         self.last_slot.len()
+    }
+
+    /// Current Fenwick slot capacity (tests pin the cap-proportional
+    /// initial allocation).
+    pub fn slot_capacity(&self) -> usize {
+        self.marks.len()
     }
 
     /// Observes one reference. Returns the LRU stack distance (1-based) of
@@ -240,6 +253,21 @@ mod tests {
             let key = i % 16;
             assert_eq!(fast.access(key), slow.access(key), "at access {i}");
         }
+    }
+
+    #[test]
+    fn initial_tree_is_sized_from_the_cap() {
+        // Small per-class trackers must not pay for 1024 slots up front.
+        assert_eq!(MattsonTracker::<u64>::new(30).slot_capacity(), 64);
+        assert_eq!(MattsonTracker::<u64>::new(1).slot_capacity(), 8);
+        assert_eq!(MattsonTracker::<u64>::new(8000).slot_capacity(), 16384);
+        // Rebuild keeps its own (larger) floor once a tracker outgrows
+        // the initial tree.
+        let mut t = MattsonTracker::<u64>::new(16);
+        for i in 0..10_000u64 {
+            t.access(i % 8);
+        }
+        assert!(t.slot_capacity() >= 4096);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! fine-grained instrumentation and control add negligible overhead.
 //!
 //! Timings are real wall-clock durations and therefore *never* enter the
-//! deterministic `.prom`/`.csv` artifacts — the report goes to stdout
-//! only.
+//! deterministic `.prom`/`.csv` artifacts — the experiments binary
+//! prints the report to stderr, keeping stdout byte-identical across
+//! runs and job counts.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -25,7 +26,7 @@ pub struct PhaseStats {
 }
 
 /// Accumulates wall-clock time per named phase.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SpanProfiler {
     phases: BTreeMap<&'static str, PhaseStats>,
 }
@@ -63,6 +64,16 @@ impl SpanProfiler {
         stats.calls += calls;
         stats.total += total;
         stats.max = stats.max.max(max_single);
+    }
+
+    /// Folds another profiler's phases into this one (summing calls and
+    /// totals, keeping the larger max). The parallel experiment runner
+    /// gives every figure its own profiler and merges them into the one
+    /// suite-level overhead report.
+    pub fn merge(&mut self, other: &SpanProfiler) {
+        for (phase, stats) in other.phases() {
+            self.add_n(phase, stats.calls, stats.total, stats.max);
+        }
     }
 
     /// Times `f` under `phase`.
@@ -234,6 +245,21 @@ mod tests {
         assert!(report.contains("collection"), "{report}");
         // 8590s over 2^32 calls is a hair over a 2us mean.
         assert!(report.contains("2us"), "{report}");
+    }
+
+    #[test]
+    fn merge_sums_calls_and_keeps_larger_max() {
+        let mut a = SpanProfiler::new();
+        a.add("collection", Duration::from_micros(10));
+        let mut b = SpanProfiler::new();
+        b.add("collection", Duration::from_micros(40));
+        b.add("action_selection", Duration::from_micros(5));
+        a.merge(&b);
+        let stats: BTreeMap<&str, PhaseStats> = a.phases().map(|(n, s)| (n, *s)).collect();
+        assert_eq!(stats["collection"].calls, 2);
+        assert_eq!(stats["collection"].total, Duration::from_micros(50));
+        assert_eq!(stats["collection"].max, Duration::from_micros(40));
+        assert_eq!(stats["action_selection"].calls, 1);
     }
 
     #[test]
