@@ -1,10 +1,17 @@
 //! Microbenchmarks for the MRC trackers: exact Mattson (Fenwick
-//! formulation), the bucketed approximation, and the naive O(n) stack —
-//! the speed side of ablation A5.
+//! formulation), the bucketed approximation, the SHARDS-style sampled
+//! tracker, and the naive O(n) stack — the speed side of ablations A5
+//! and A6.
+//!
+//! The sampled-vs-exact comparison (and its derived speedup record) is
+//! merged into `BENCH_experiments.json` next to the figure wall-clocks,
+//! so one file answers both "how long do the figures take" and "what
+//! does sampling buy".
 
 use odlb_bench::harness::{black_box, Bench};
 use odlb_mrc::mattson::NaiveStack;
-use odlb_mrc::{BucketedTracker, MattsonTracker};
+use odlb_mrc::{BucketedTracker, MattsonTracker, SampledTracker};
+use std::time::Duration;
 
 /// Deterministic trace with a hot core and a long tail, `n` accesses over
 /// `footprint` distinct keys.
@@ -69,4 +76,59 @@ fn main() {
     bench.bench("mrc_params_extraction", || {
         black_box(curve.params(black_box(16_384), black_box(0.05)))
     });
+    drop(bench);
+
+    // Sampled vs exact on a wide uniform trace (well over 100k distinct
+    // keys, where exact tracking is at its most expensive). Results and
+    // the derived speedup merge into BENCH_experiments.json; the R=0.01
+    // speedup record is the acceptance gate (≥ 10x).
+    let mut merged = Bench::merged("experiments");
+    let wide = uniform_trace(300_000, 150_000);
+    merged.bench_elements("mrc_tracker/exact/wide_150k", wide.len() as u64, || {
+        let mut tracker = MattsonTracker::new(16_384);
+        for &k in &wide {
+            tracker.access(black_box(k));
+        }
+        black_box(tracker.accesses())
+    });
+    for &rate in &[0.1, 0.01] {
+        merged.bench_elements(
+            &format!("mrc_tracker/sampled_r{rate}/wide_150k"),
+            wide.len() as u64,
+            || {
+                let mut tracker = SampledTracker::new(16_384, rate);
+                for &k in &wide {
+                    tracker.access(black_box(k));
+                }
+                black_box(tracker.sampled_refs())
+            },
+        );
+    }
+    // The speedup record carries the ratio in ns_per_op (unit-free; see
+    // the name). Skipped when a CLI filter excluded either side.
+    if let (Some(exact_ns), Some(sampled_ns)) = (
+        merged.mean_ns_of("mrc_tracker/exact/wide_150k"),
+        merged.mean_ns_of("mrc_tracker/sampled_r0.01/wide_150k"),
+    ) {
+        let speedup = exact_ns / sampled_ns.max(1);
+        merged.record_wall(
+            "mrc_tracker/sampled_speedup_x_r0.01/wide_150k",
+            Duration::from_nanos(speedup as u64),
+        );
+        println!("sampled R=0.01 speedup over exact: {speedup}x (gate: >=10x)");
+    }
+}
+
+/// Uniform random trace: `n` accesses spread over `footprint` keys, the
+/// worst case for exact tracking (huge live stack, no hot core).
+fn uniform_trace(n: usize, footprint: u64) -> Vec<u64> {
+    let mut x: u64 = 0x2545F4914F6CDD1D;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x % footprint
+        })
+        .collect()
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [fig3|fig3-mini|fig4|fig5|fig6|table1|table2|table3|
 //!              ablation-fences|ablation-weights|ablation-coarse|
-//!              ablation-mrc-threshold|ablation-mrc-approx|all]
+//!              ablation-mrc-threshold|ablation-mrc-approx|
+//!              ablation-mrc-sampled|all]
 //!             [--jobs <N>] [--trace <path>] [--metrics <dir>] [--bench-json]
 //! ```
 //!
@@ -120,7 +121,7 @@ fn main() {
         eprintln!(
             "unknown experiment '{arg}'; valid: fig3 fig3-mini fig4 fig5 fig6 table1 table2 table3 \
              ablation-fences ablation-weights ablation-coarse ablation-mrc-threshold \
-             ablation-mrc-approx all"
+             ablation-mrc-approx ablation-mrc-sampled all"
         );
         std::process::exit(2);
     };

@@ -37,6 +37,7 @@ struct BenchResult {
 pub struct Bench {
     filter: Option<String>,
     target: Option<String>,
+    merge: bool,
     results: Vec<BenchResult>,
 }
 
@@ -55,6 +56,7 @@ impl Bench {
         Bench {
             filter,
             target: None,
+            merge: false,
             results: Vec::new(),
         }
     }
@@ -67,6 +69,19 @@ impl Bench {
         bench
     }
 
+    /// Like [`Bench::named`], but on drop the runner *merges* into an
+    /// existing `BENCH_<target>.json` instead of overwriting it:
+    /// records this run did not re-measure are preserved in file order,
+    /// re-measured names are replaced, new names are appended. This
+    /// lets a bench target add records to a report another binary owns
+    /// (e.g. `benches/mrc.rs` adding tracker micro-benches to
+    /// `BENCH_experiments.json` next to the figure wall-clocks).
+    pub fn merged(target: &str) -> Self {
+        let mut bench = Bench::named(target);
+        bench.merge = true;
+        bench
+    }
+
     /// A runner that only records externally measured wall times: no CLI
     /// filter, no adaptive iteration. The experiments suite uses this to
     /// log per-figure and total wall clock into `BENCH_<target>.json`
@@ -75,8 +90,18 @@ impl Bench {
         Bench {
             filter: None,
             target: Some(target.to_string()),
+            merge: false,
             results: Vec::new(),
         }
+    }
+
+    /// Mean ns/op of an already-measured benchmark in this run, for
+    /// derived records (e.g. a speedup ratio between two benches).
+    pub fn mean_ns_of(&self, name: &str) -> Option<u128> {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.mean_ns)
     }
 
     /// Records one externally measured wall time as a single-iteration
@@ -168,12 +193,57 @@ impl Drop for Bench {
     fn drop(&mut self) {
         let Some(target) = &self.target else { return };
         let path = format!("BENCH_{target}.json");
+        if self.merge {
+            if let Ok(existing) = std::fs::read_to_string(&path) {
+                let kept: Vec<BenchResult> = parse_report_results(&existing)
+                    .into_iter()
+                    .filter(|old| !self.results.iter().any(|new| new.name == old.name))
+                    .collect();
+                self.results.splice(0..0, kept);
+            }
+        }
         if let Err(e) = std::fs::write(&path, self.json_report()) {
             eprintln!("cannot write {path}: {e}");
         } else {
             println!("wrote {path} ({} benchmarks)", self.results.len());
         }
     }
+}
+
+/// Parses the result records out of a report previously written by
+/// [`Bench::json_report`]. This is a shape-specific reader, not a JSON
+/// parser: each record is one line, fields in fixed order, which is
+/// exactly what `json_report` emits. Unrecognisable lines are skipped,
+/// so a hand-edited file degrades to "treat as absent" rather than an
+/// error.
+fn parse_report_results(json: &str) -> Vec<BenchResult> {
+    fn field_u128(line: &str, key: &str) -> Option<u128> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+    json.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let name = line
+                .strip_prefix("{\"name\": \"")?
+                .split("\", \"ns_per_op\"")
+                .next()?
+                .replace("\\\"", "\"")
+                .replace("\\\\", "\\");
+            Some(BenchResult {
+                name,
+                mean_ns: field_u128(line, "ns_per_op")?,
+                min_ns: field_u128(line, "min_ns_per_op")?,
+                iters: field_u128(line, "iters")? as u32,
+                elements: field_u128(line, "elements")? as u64,
+            })
+        })
+        .collect()
 }
 
 fn escape_json(s: &str) -> String {
@@ -209,6 +279,7 @@ mod tests {
         let mut b = Bench {
             filter: Some("match".to_string()),
             target: None,
+            merge: false,
             results: Vec::new(),
         };
         let mut matched = 0u32;
@@ -224,6 +295,7 @@ mod tests {
         let mut b = Bench {
             filter: None,
             target: Some("unit_test".to_string()),
+            merge: false,
             results: Vec::new(),
         };
         b.bench("alpha", || 1 + 1);
@@ -249,6 +321,50 @@ mod tests {
         assert!(json.contains("\"iters\": 1"));
         // Keep the drop from writing a file during tests.
         b.target = None;
+    }
+
+    #[test]
+    fn report_round_trips_through_the_merge_parser() {
+        let mut b = Bench::collector("unit_test");
+        b.record_wall("jobs=1/fig5", Duration::from_millis(12));
+        b.record_wall("mrc_tracker/exact/wide", Duration::from_nanos(987));
+        let parsed = parse_report_results(&b.json_report());
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "jobs=1/fig5");
+        assert_eq!(parsed[0].mean_ns, 12_000_000);
+        assert_eq!(parsed[1].name, "mrc_tracker/exact/wide");
+        assert_eq!(parsed[1].mean_ns, 987);
+        assert_eq!(parsed[1].iters, 1);
+        b.target = None;
+    }
+
+    #[test]
+    fn merge_preserves_foreign_records_and_replaces_same_names() {
+        let mut owner = Bench::collector("unit_test");
+        owner.record_wall("jobs=1/total", Duration::from_millis(30));
+        owner.record_wall("shared_name", Duration::from_millis(1));
+        let existing = owner.json_report();
+        owner.target = None;
+
+        let mut merger = Bench::collector("unit_test");
+        merger.merge = true;
+        merger.record_wall("shared_name", Duration::from_millis(2));
+        merger.record_wall("new_name", Duration::from_millis(3));
+        // Simulate the drop-time merge without touching the filesystem.
+        let kept: Vec<BenchResult> = parse_report_results(&existing)
+            .into_iter()
+            .filter(|old| !merger.results.iter().any(|new| new.name == old.name))
+            .collect();
+        merger.results.splice(0..0, kept);
+        let merged = merger.json_report();
+        merger.target = None;
+
+        let names: Vec<String> = parse_report_results(&merged)
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(names, ["jobs=1/total", "shared_name", "new_name"]);
+        assert!(merged.contains("\"name\": \"shared_name\", \"ns_per_op\": 2000000"));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 /// Canonical figure order: what `all` runs, and the order outputs are
 /// committed in at any job count.
-pub const ALL_FIGURES: [&str; 12] = [
+pub const ALL_FIGURES: [&str; 13] = [
     "fig5",
     "fig6",
     "table1",
@@ -34,6 +34,7 @@ pub const ALL_FIGURES: [&str; 12] = [
     "ablation-coarse",
     "ablation-mrc-threshold",
     "ablation-mrc-approx",
+    "ablation-mrc-sampled",
 ];
 
 /// Resolves a command-line selector into the figures it runs: `all`
@@ -284,6 +285,11 @@ fn figure_job(name: &'static str, cfg: &SuiteConfig, multiple: bool) -> Job<Figu
             name,
             "Ablation A5 — exact Mattson vs bucketed approximation",
             ablations::figure_tracker,
+        ),
+        "ablation-mrc-sampled" => plain(
+            name,
+            "Ablation A6 — exact Mattson vs SHARDS-style sampled tracker",
+            sampled::figure,
         ),
         other => panic!("unknown figure '{other}' (resolve() admits selections)"),
     }

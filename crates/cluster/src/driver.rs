@@ -410,9 +410,22 @@ impl Simulation {
         class: ClassId,
         cap_pages: usize,
     ) -> Option<MissRatioCurve> {
+        self.recompute_mrc_with(instance, class, cap_pages, odlb_mrc::MrcMode::Exact)
+    }
+
+    /// [`Simulation::recompute_mrc`] with an explicit tracker mode
+    /// (exact / bucketed / SHARDS-sampled), as configured on the
+    /// controller driving this cluster.
+    pub fn recompute_mrc_with(
+        &self,
+        instance: InstanceId,
+        class: ClassId,
+        cap_pages: usize,
+        mode: odlb_mrc::MrcMode,
+    ) -> Option<MissRatioCurve> {
         self.instances[instance.0 as usize]
             .engine
-            .recompute_mrc(class, cap_pages)
+            .recompute_mrc_with(class, cap_pages, mode)
     }
 
     /// Buffer pool size (pages) of an instance.

@@ -1,6 +1,7 @@
 //! Controller tuning knobs, all defaulted to the paper's settings where it
 //! states them and to conservative classics elsewhere.
 
+use odlb_mrc::MrcMode;
 use odlb_outlier::OutlierConfig;
 
 /// Parameters of the selective retuning controller.
@@ -8,6 +9,11 @@ use odlb_outlier::OutlierConfig;
 pub struct ControllerConfig {
     /// Outlier detection parameters (1.5/3.0 Tukey fences by default).
     pub outlier: OutlierConfig,
+    /// Which stack-distance tracker MRC recomputation instantiates:
+    /// exact Mattson (default, byte-identical to the historical
+    /// behaviour), geometric buckets, or SHARDS-style spatial sampling
+    /// for clusters with very many tenant classes.
+    pub mrc_mode: MrcMode,
     /// MRC acceptability threshold: acceptable memory is the smallest size
     /// whose miss ratio is within this of ideal.
     pub mrc_threshold: f64,
@@ -44,6 +50,7 @@ impl Default for ControllerConfig {
     fn default() -> Self {
         ControllerConfig {
             outlier: OutlierConfig::default(),
+            mrc_mode: MrcMode::Exact,
             mrc_threshold: 0.05,
             mrc_change_rel: 0.25,
             mrc_ratio_slack: 0.10,
@@ -70,5 +77,7 @@ mod tests {
         assert_eq!(c.outlier.outer_multiplier, 3.0);
         assert!(c.cpu_saturation > c.cpu_release);
         assert!(c.fallback_after > c.cooldown_intervals);
+        // Exact by default: golden run digests must not move.
+        assert_eq!(c.mrc_mode, MrcMode::Exact);
     }
 }

@@ -149,7 +149,9 @@ impl SelectiveRetuningController {
                 let has_mrc = self.stable.get(key, class).is_some_and(|s| s.mrc.is_some());
                 if met && !has_mrc {
                     let cap = sim.pool_pages(instance);
-                    if let Some(curve) = sim.recompute_mrc(instance, class, cap) {
+                    if let Some(curve) =
+                        sim.recompute_mrc_with(instance, class, cap, self.config.mrc_mode)
+                    {
                         let params = curve.params(cap, self.config.mrc_threshold);
                         self.stable.record_mrc(key, class, params, outcome.end);
                     }

@@ -68,7 +68,7 @@ pub fn find_problem_classes(
     let mut problems = Vec::new();
     let mut examined = Vec::new();
     for &class in suspects {
-        let Some(curve) = sim.recompute_mrc(instance, class, cap) else {
+        let Some(curve) = sim.recompute_mrc_with(instance, class, cap, config.mrc_mode) else {
             continue;
         };
         let params = curve.params(cap, config.mrc_threshold);
@@ -117,7 +117,7 @@ pub fn plan_memory_action(
     // the same physical server".
     let mut curves = Vec::new();
     for (&class, metrics) in &report.per_class {
-        if let Some(curve) = sim.recompute_mrc(instance, class, cap) {
+        if let Some(curve) = sim.recompute_mrc_with(instance, class, cap, config.mrc_mode) {
             let rate = metrics[MetricKind::Throughput];
             curves.push((class, curve, rate));
         }

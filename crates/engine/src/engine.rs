@@ -273,7 +273,21 @@ impl DbEngine {
     /// (§3.3.2's on-demand recomputation). `None` when the class has no
     /// window on this engine.
     pub fn recompute_mrc(&self, class: ClassId, cap_pages: usize) -> Option<MissRatioCurve> {
-        self.windows.get(class).map(|w| w.compute_mrc(cap_pages))
+        self.recompute_mrc_with(class, cap_pages, odlb_mrc::MrcMode::Exact)
+    }
+
+    /// [`DbEngine::recompute_mrc`] with an explicit tracker mode — the
+    /// controller threads its configured [`odlb_mrc::MrcMode`] through
+    /// here so web-scale tenancies can trade exactness for throughput.
+    pub fn recompute_mrc_with(
+        &self,
+        class: ClassId,
+        cap_pages: usize,
+        mode: odlb_mrc::MrcMode,
+    ) -> Option<MissRatioCurve> {
+        self.windows
+            .get(class)
+            .map(|w| w.compute_mrc_with(mode, cap_pages))
     }
 
     /// Enforces a buffer-pool quota for a class (§3.3.2, option two).

@@ -7,7 +7,7 @@
 //! through a Mattson tracker to re-derive the class's MRC parameters.
 
 use crate::ids::ClassId;
-use odlb_mrc::{MattsonTracker, MissRatioCurve};
+use odlb_mrc::{compute_curve, MissRatioCurve, MrcMode};
 use odlb_storage::PageId;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -63,11 +63,14 @@ impl AccessWindow {
     /// Replays the window through Mattson's algorithm, yielding the
     /// class's current miss ratio curve tracked up to `cap_pages`.
     pub fn compute_mrc(&self, cap_pages: usize) -> MissRatioCurve {
-        let mut tracker = MattsonTracker::new(cap_pages);
-        for page in self.iter() {
-            tracker.access(page);
-        }
-        tracker.into_curve()
+        self.compute_mrc_with(MrcMode::Exact, cap_pages)
+    }
+
+    /// Replays the window through the tracker `mode` selects — exact
+    /// Mattson, geometric buckets, or SHARDS-style spatial sampling.
+    /// `MrcMode::Exact` is byte-identical to [`AccessWindow::compute_mrc`].
+    pub fn compute_mrc_with(&self, mode: MrcMode, cap_pages: usize) -> MissRatioCurve {
+        compute_curve(mode, cap_pages, self.iter())
     }
 }
 
@@ -145,6 +148,21 @@ mod tests {
         let curve = w.compute_mrc(64);
         assert!(curve.miss_ratio(7) > 0.9);
         assert!(curve.miss_ratio(8) < 0.02);
+    }
+
+    #[test]
+    fn mode_dispatch_exact_is_default_and_sampled_sees_the_knee() {
+        let mut w = AccessWindow::new(10_000);
+        for i in 0..8_000u64 {
+            w.push(pid(i % 64));
+        }
+        let exact = w.compute_mrc_with(MrcMode::Exact, 256);
+        assert_eq!(exact, w.compute_mrc(256), "Exact mode is the default path");
+        let sampled = w.compute_mrc_with(MrcMode::Sampled { rate: 0.25 }, 256);
+        // The loop knee at 64 pages survives sampling: distances of the
+        // ~16 sampled keys rescale back to ~64 (binomial wobble allowed).
+        assert!(sampled.miss_ratio(24) > 0.9);
+        assert!(sampled.miss_ratio(128) < 0.1);
     }
 
     #[test]

@@ -69,6 +69,11 @@ impl<K: Copy + Eq + Hash> BucketedTracker<K> {
         &self.curve
     }
 
+    /// Consumes the tracker, yielding its (approximate) curve.
+    pub fn into_curve(self) -> MissRatioCurve {
+        self.curve
+    }
+
     /// The exact curve computed alongside (for ablation comparisons).
     pub fn exact_curve(&self) -> &MissRatioCurve {
         self.inner.curve()

@@ -28,19 +28,32 @@ impl MissRatioCurve {
 
     /// Records a re-access with 1-based stack distance `d`.
     pub fn record_hit_at(&mut self, d: u64) {
-        self.total += 1;
+        self.record_hits_at(d, 1);
+    }
+
+    /// Records `n` re-accesses at the same 1-based stack distance `d` in
+    /// one histogram update. The sampled tracker uses this to rescale a
+    /// survivor's contribution by `1/R` without paying `1/R` increments.
+    pub fn record_hits_at(&mut self, d: u64, n: u64) {
+        self.total += n;
         if d as usize <= self.hits.len() {
-            self.hits[d as usize - 1] += 1;
+            self.hits[d as usize - 1] += n;
         } else {
-            self.beyond_or_cold += 1;
+            self.beyond_or_cold += n;
         }
     }
 
     /// Records a first-touch (infinite-distance) miss.
     pub fn record_cold_miss(&mut self) {
-        self.total += 1;
-        self.beyond_or_cold += 1;
-        self.cold += 1;
+        self.record_cold_misses(1);
+    }
+
+    /// Records `n` first-touch misses in one update (the bulk form used
+    /// by the sampled tracker's `1/R` rescaling).
+    pub fn record_cold_misses(&mut self, n: u64) {
+        self.total += n;
+        self.beyond_or_cold += n;
+        self.cold += n;
     }
 
     /// Largest tracked cache size.

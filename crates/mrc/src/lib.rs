@@ -14,13 +14,19 @@
 //!             Σ_{i=1..n} Hit[i] + Hit[∞]
 //! ```
 //!
-//! Two trackers are provided:
+//! Three trackers are provided, selectable end-to-end via [`MrcMode`]:
 //!
 //! * [`MattsonTracker`] — exact stack distances in `O(log n)` per access
 //!   (Bender/Olken time-stamp + Fenwick-tree formulation of Mattson).
 //! * [`BucketedTracker`] — a coarser variant that bins distances into
 //!   geometric buckets, trading resolution for memory; used in the
 //!   ablation study (A5).
+//! * [`SampledTracker`] — SHARDS-style spatial hash sampling: only a
+//!   fixed fraction `R` of the key space is tracked exactly, distances
+//!   and counts are rescaled by `1/R` at recording time. `O(1)` for the
+//!   `1-R` unsampled majority; the sampled-vs-exact error bound is
+//!   pinned by `tests/sampled_mrc_properties.rs` and quantified by the
+//!   `ablation-mrc-sampled` figure.
 //!
 //! From a finished curve, [`MrcParams`] extracts the two quantities the
 //! paper's controller uses per query class (§3.3): *total memory needed*
@@ -35,9 +41,45 @@
 pub mod bucketed;
 pub mod curve;
 pub mod mattson;
+pub mod sampled;
 pub mod solver;
 
 pub use bucketed::BucketedTracker;
 pub use curve::{MissRatioCurve, MrcParams};
 pub use mattson::MattsonTracker;
+pub use sampled::{MrcMode, SampledTracker};
 pub use solver::{fit_quotas, greedy_allocate, QuotaRequest};
+
+/// Replays one reference stream through the tracker `mode` selects,
+/// yielding its curve tracked up to `cap_pages`. The single dispatch
+/// point behind every MRC recomputation (access-window replay, figure
+/// jobs, property tests).
+pub fn compute_curve<K, I>(mode: MrcMode, cap_pages: usize, keys: I) -> MissRatioCurve
+where
+    K: Copy + Eq + std::hash::Hash,
+    I: IntoIterator<Item = K>,
+{
+    match mode {
+        MrcMode::Exact => {
+            let mut t = MattsonTracker::new(cap_pages);
+            for k in keys {
+                t.access(k);
+            }
+            t.into_curve()
+        }
+        MrcMode::Bucketed => {
+            let mut t = BucketedTracker::new(cap_pages, MrcMode::DEFAULT_BUCKET_RATIO);
+            for k in keys {
+                t.access(k);
+            }
+            t.into_curve()
+        }
+        MrcMode::Sampled { rate } => {
+            let mut t = SampledTracker::new(cap_pages, rate);
+            for k in keys {
+                t.access(k);
+            }
+            t.into_curve()
+        }
+    }
+}

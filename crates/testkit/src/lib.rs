@@ -8,11 +8,13 @@
 //!
 //! Differences from proptest, deliberately accepted:
 //!
-//! * **No shrinking.** On failure the runner reports the property name,
-//!   the failing case index and the case seed; re-running is fully
-//!   deterministic, so the failing case can be replayed (and minimised by
-//!   hand or committed as an explicit regression test — see the
-//!   `*_regression` tests in `tests/`).
+//! * **No generic shrinking.** On failure the base runner reports the
+//!   property name, the failing case index and the case seed; re-running
+//!   is fully deterministic, so the failing case can be replayed (and
+//!   minimised by hand or committed as an explicit regression test — see
+//!   the `*_regression` tests in `tests/`). Trace-valued properties get
+//!   real delta-debug shrinking via [`trace::check_traces`], which
+//!   operates on the concrete reference stream.
 //! * **Derived, not sampled, seeds.** Every case's generator is seeded
 //!   from FNV-1a over the property name plus the case index, so cases are
 //!   independent, reproducible and stable across runs and platforms.
@@ -26,6 +28,8 @@
 //!     assert_eq!(a + b, b + a);
 //! });
 //! ```
+
+pub mod trace;
 
 use odlb_sim::SimRng;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

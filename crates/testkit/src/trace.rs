@@ -1,0 +1,318 @@
+//! Deterministic workload-trace generators and a shrinking trace runner.
+//!
+//! The MRC property suites all need the same thing: reference streams
+//! whose *locality structure* spans the families real database pages
+//! exhibit — skewed point lookups (Zipf), streaming scans, cyclic
+//! re-scans, and working-set shifts. These generators produce them from
+//! the testkit's deterministic [`Gen`], so every case is reproducible
+//! from its seed.
+//!
+//! [`check_traces`] adds the piece the base runner deliberately lacks:
+//! **shrinking**. When a trace-valued property fails, the runner
+//! delta-debugs the concrete failing trace — removing chunks, then
+//! simplifying individual keys toward zero — and reports the smallest
+//! trace that still fails alongside the original case seed. Shrinking
+//! operates on the concrete `Vec<u64>`, never on the generator, so it
+//! cannot be confused by seed-dependence.
+
+use crate::{case_seed, Gen};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Upper bound on distinct keys a generated family may use, keeping the
+/// Zipf cumulative table and the exact oracle stacks small.
+const MAX_KEYS: u64 = 1 << 13;
+
+/// A family of reference streams with a characteristic MRC shape.
+#[derive(Clone, Debug)]
+pub enum TraceFamily {
+    /// Independent Zipf(`exponent`) draws over `keys` keys: a hot head
+    /// and a long tail, the classic OLTP point-lookup mix.
+    Zipf {
+        /// Distinct keys.
+        keys: u64,
+        /// Skew exponent (1.0 ≈ classic Zipf's law; larger = hotter head).
+        exponent: f64,
+    },
+    /// A streaming sequential scan: mostly first-touch misses, the
+    /// pattern that defeats every cache size (the paper's dropped-index
+    /// case).
+    SequentialScan {
+        /// Distinct keys scanned before the stream wraps.
+        keys: u64,
+    },
+    /// A cyclic loop over a fixed working set: every re-access has stack
+    /// distance exactly `keys`, the sharpest possible MRC knee.
+    Loop {
+        /// Working-set size.
+        keys: u64,
+    },
+    /// A phase-shift mix: Zipf draws whose key range jumps to a disjoint
+    /// region every `phase_len` references — the working set *moves*,
+    /// as after a plan change or a tenant mix shift.
+    PhaseShift {
+        /// Keys per phase.
+        keys: u64,
+        /// References between shifts.
+        phase_len: usize,
+    },
+}
+
+impl TraceFamily {
+    /// Draws a random family with generated parameters.
+    pub fn arbitrary(g: &mut Gen) -> TraceFamily {
+        match g.weighted(&[3.0, 1.0, 1.0, 2.0]) {
+            0 => TraceFamily::Zipf {
+                keys: g.u64_in(16, MAX_KEYS),
+                exponent: g.f64_in(0.6, 1.4),
+            },
+            1 => TraceFamily::SequentialScan {
+                keys: g.u64_in(64, MAX_KEYS),
+            },
+            2 => TraceFamily::Loop {
+                keys: g.u64_in(4, 2048),
+            },
+            _ => TraceFamily::PhaseShift {
+                keys: g.u64_in(16, 1024),
+                phase_len: g.usize_in(50, 800),
+            },
+        }
+    }
+
+    /// A short stable name for reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceFamily::Zipf { .. } => "zipf",
+            TraceFamily::SequentialScan { .. } => "sequential-scan",
+            TraceFamily::Loop { .. } => "loop",
+            TraceFamily::PhaseShift { .. } => "phase-shift",
+        }
+    }
+
+    /// Generates a `len`-reference trace of this family from `g`.
+    pub fn generate(&self, g: &mut Gen, len: usize) -> Vec<u64> {
+        match *self {
+            TraceFamily::Zipf { keys, exponent } => {
+                let zipf = ZipfSampler::new(keys, exponent);
+                (0..len).map(|_| zipf.sample(g)).collect()
+            }
+            TraceFamily::SequentialScan { keys } => {
+                (0..len as u64).map(|i| i % keys.max(1)).collect()
+            }
+            TraceFamily::Loop { keys } => (0..len as u64).map(|i| i % keys.max(1)).collect(),
+            TraceFamily::PhaseShift { keys, phase_len } => {
+                let zipf = ZipfSampler::new(keys, 1.0);
+                (0..len)
+                    .map(|i| {
+                        let phase = (i / phase_len.max(1)) as u64;
+                        phase * keys + zipf.sample(g)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Zipf(`s`) sampler over `0..keys` via inverse CDF on a precomputed
+/// cumulative table (`O(keys)` setup, `O(log keys)` per draw).
+pub struct ZipfSampler {
+    cum: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the cumulative table for `keys` keys with exponent `s`.
+    pub fn new(keys: u64, s: f64) -> Self {
+        let keys = keys.clamp(1, MAX_KEYS);
+        let mut cum = Vec::with_capacity(keys as usize);
+        let mut total = 0.0;
+        for i in 1..=keys {
+            total += 1.0 / (i as f64).powf(s);
+            cum.push(total);
+        }
+        ZipfSampler { cum }
+    }
+
+    /// Draws one key (0-based rank; rank 0 is the hottest).
+    pub fn sample(&self, g: &mut Gen) -> u64 {
+        let total = *self.cum.last().expect("at least one key");
+        let r = g.f64_in(0.0, total);
+        self.cum.partition_point(|&c| c < r) as u64
+    }
+}
+
+/// True when `property` panics on `trace`.
+fn fails(property: &impl Fn(&[u64]), trace: &[u64]) -> bool {
+    catch_unwind(AssertUnwindSafe(|| property(trace))).is_err()
+}
+
+/// Budgeted candidate evaluations per shrink, so pathological properties
+/// cannot stall the suite.
+const SHRINK_BUDGET: usize = 4_096;
+
+/// Delta-debugs a failing trace to a (locally) minimal one: removes
+/// chunks from halves down to single elements, then simplifies surviving
+/// keys toward zero. The result still fails `property`.
+pub fn shrink_trace(property: impl Fn(&[u64]), trace: &[u64]) -> Vec<u64> {
+    let mut current = trace.to_vec();
+    let mut budget = SHRINK_BUDGET;
+
+    // Phase 1: chunk removal, coarse to fine.
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < current.len() && budget > 0 {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            budget -= 1;
+            if !candidate.is_empty() && fails(&property, &candidate) {
+                current = candidate; // keep the cut; retry same offset
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 || budget == 0 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+
+    // Phase 2: binary-search each key down to the smallest value that
+    // still fails (so boundary values like "first key >= N" are found
+    // exactly, not just halved past).
+    let mut i = 0;
+    while i < current.len() && budget > 0 {
+        let mut lo = 0u64;
+        let mut hi = current[i];
+        while lo < hi && budget > 0 {
+            let mid = lo + (hi - lo) / 2;
+            let mut candidate = current.clone();
+            candidate[i] = mid;
+            budget -= 1;
+            if fails(&property, &candidate) {
+                hi = mid;
+                current = candidate;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        i += 1;
+    }
+    current
+}
+
+/// Runs `property` against `cases` generated traces (family and length
+/// drawn per case), shrinking any failure to a minimal trace before
+/// re-raising the panic. The original case seed is reported so the
+/// unshrunk case can be replayed with [`Gen::from_seed`].
+///
+/// Respects `ODLB_PROP_CASES` like [`crate::check`].
+pub fn check_traces(name: &str, cases: u64, max_len: usize, property: impl Fn(&[u64])) {
+    let cases = std::env::var("ODLB_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cases);
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut g = Gen::from_seed(seed);
+        let family = TraceFamily::arbitrary(&mut g);
+        let len = g.usize_in(1, max_len.max(2));
+        let trace = family.generate(&mut g, len);
+        let result = catch_unwind(AssertUnwindSafe(|| property(&trace)));
+        if let Err(panic) = result {
+            let minimal = shrink_trace(&property, &trace);
+            eprintln!(
+                "trace property '{name}' failed at case {case}/{cases} \
+                 (family {}, len {}; replay with Gen::from_seed({seed:#x}))\n\
+                 shrunk to {} references: {:?}",
+                family.label(),
+                trace.len(),
+                minimal.len(),
+                &minimal[..minimal.len().min(64)],
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for case in 0..8u64 {
+            let run = || {
+                let mut g = Gen::from_seed(case_seed("gen_det", case));
+                let family = TraceFamily::arbitrary(&mut g);
+                family.generate(&mut g, 500)
+            };
+            assert_eq!(run(), run());
+        }
+    }
+
+    #[test]
+    fn zipf_head_is_hot() {
+        let mut g = Gen::from_seed(7);
+        let zipf = ZipfSampler::new(1000, 1.0);
+        let mut head = 0u32;
+        for _ in 0..10_000 {
+            if zipf.sample(&mut g) < 10 {
+                head += 1;
+            }
+        }
+        // Zipf(1.0) over 1000 keys: top-10 carries ~39% of the mass.
+        assert!((2_500..=5_500).contains(&head), "head draws: {head}");
+    }
+
+    #[test]
+    fn loop_family_revisits_its_working_set() {
+        let mut g = Gen::from_seed(8);
+        let t = TraceFamily::Loop { keys: 16 }.generate(&mut g, 160);
+        assert_eq!(t.iter().max(), Some(&15));
+        assert_eq!(&t[..16], &t[16..32], "cycle repeats exactly");
+    }
+
+    #[test]
+    fn phase_shift_moves_the_working_set() {
+        let mut g = Gen::from_seed(9);
+        let t = TraceFamily::PhaseShift {
+            keys: 100,
+            phase_len: 50,
+        }
+        .generate(&mut g, 200);
+        assert!(t[..50].iter().all(|&k| k < 100));
+        assert!(t[50..100].iter().all(|&k| (100..200).contains(&k)));
+        assert!(t[150..].iter().all(|&k| (300..400).contains(&k)));
+    }
+
+    #[test]
+    fn shrinker_minimises_a_known_failure() {
+        // Fails iff the trace contains any key >= 100: the minimal
+        // failing trace is a single reference with the smallest key
+        // value that still fails, i.e. exactly 100.
+        let property = |t: &[u64]| assert!(t.iter().all(|&k| k < 100));
+        let trace: Vec<u64> = (0..500)
+            .map(|i| if i % 7 == 0 { 150 + i } else { i % 50 })
+            .collect();
+        let minimal = shrink_trace(property, &trace);
+        assert_eq!(minimal, vec![100]);
+    }
+
+    #[test]
+    fn shrinker_returns_failing_input_unchanged_when_irreducible() {
+        let property = |t: &[u64]| assert!(t != [1, 2]);
+        let minimal = shrink_trace(property, &[1, 2]);
+        assert_eq!(minimal, vec![1, 2]);
+        assert!(fails(&property, &minimal));
+    }
+
+    #[test]
+    fn check_traces_passes_and_reports_failures() {
+        check_traces("trivially_true", 16, 400, |t| assert!(t.len() <= 400));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_traces("always_fails_on_long", 16, 400, |t| assert!(t.is_empty()));
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,11 +1,13 @@
-//! Property tests for the MRC substrate: the Fenwick-tree Mattson tracker
-//! must agree exactly with the naive LRU stack, and the curve must obey
-//! the inclusion property that makes the paper's §2 math valid.
+//! Property tests for the MRC substrate: every stack-distance tracker
+//! must agree with the naive LRU stack through one shared differential
+//! harness, and the curve must obey the inclusion property that makes
+//! the paper's §2 math valid.
 
 use odlb::bufferpool::LruList;
 use odlb::mrc::mattson::NaiveStack;
-use odlb::mrc::{MattsonTracker, MissRatioCurve};
+use odlb::mrc::{MattsonTracker, MissRatioCurve, SampledTracker};
 use odlb::storage::{PageId, SpaceId};
+use odlb_testkit::trace::{check_traces, TraceFamily};
 use odlb_testkit::{check, Gen};
 
 fn small_trace(g: &mut Gen) -> Vec<u64> {
@@ -23,18 +25,68 @@ fn skewed_trace(g: &mut Gen) -> Vec<u64> {
     })
 }
 
-/// The O(log n) tracker must produce exactly the naive stack's
-/// distances on every trace.
+/// The shared differential harness: replays `trace` through `access`
+/// and the [`NaiveStack`] oracle side by side, asserting identical
+/// stack distances on every reference. Any tracker claiming the exact
+/// Mattson contract (including [`SampledTracker`] at rate 1.0, whose
+/// filter passes everything) plugs in as a closure.
+fn assert_tracks_like_naive(
+    trace: &[u64],
+    label: &str,
+    mut access: impl FnMut(u64) -> Option<u64>,
+) {
+    let mut naive = NaiveStack::new();
+    for (i, &k) in trace.iter().enumerate() {
+        let got = access(k);
+        let want = naive.access(k);
+        assert_eq!(got, want, "{label}: reference {i} (key {k}) diverged");
+    }
+}
+
+/// Both exact trackers — and the sampled tracker with the filter wide
+/// open — must produce exactly the naive stack's distances on every
+/// trace family the testkit generates.
 #[test]
-fn fast_tracker_matches_naive() {
-    check("fast_tracker_matches_naive", 256, |g| {
-        let trace = small_trace(g);
+fn trackers_match_naive_oracle() {
+    check_traces("trackers_match_naive_oracle", 128, 600, |trace| {
         let mut fast = MattsonTracker::new(4096);
-        let mut slow = NaiveStack::new();
-        for &k in &trace {
-            assert_eq!(fast.access(k), slow.access(k));
-        }
+        assert_tracks_like_naive(trace, "mattson", |k| fast.access(k));
+        let mut sampled = SampledTracker::new(4096, 1.0);
+        assert_tracks_like_naive(trace, "sampled@1.0", |k| sampled.access(k));
     });
+}
+
+/// Outgrowing the initial Fenwick tree (and the 4096-slot rebuild
+/// floor) must rebuild with ≥2× headroom over the live key count while
+/// distances keep matching the oracle exactly.
+#[test]
+fn slot_capacity_grows_past_fenwick_floor() {
+    let mut fast = MattsonTracker::new(64);
+    let initial_slots = fast.slot_capacity();
+    let mut naive = NaiveStack::new();
+    // 6000 distinct keys, each visited twice with a stride so re-access
+    // distances are non-trivial, pushes live keys past the 4096 floor.
+    let keys = 6_000u64;
+    let trace: Vec<u64> = (0..keys)
+        .chain((0..keys).map(|i| (i + 17) % keys))
+        .chain(0..keys)
+        .collect();
+    for &k in &trace {
+        assert_eq!(fast.access(k), naive.access(k), "diverged at key {k}");
+    }
+    assert_eq!(fast.distinct_keys(), keys as usize);
+    assert!(
+        fast.slot_capacity() > initial_slots && fast.slot_capacity() >= 4096,
+        "tracker must have rebuilt past its initial {initial_slots} slots, \
+         got {}",
+        fast.slot_capacity()
+    );
+    assert!(
+        fast.slot_capacity() >= 2 * fast.distinct_keys(),
+        "rebuild keeps ≥2x headroom: {} slots for {} keys",
+        fast.slot_capacity(),
+        fast.distinct_keys()
+    );
 }
 
 /// Miss ratio must be monotone non-increasing in memory size — the
@@ -123,4 +175,30 @@ fn curve_merge_is_additive() {
         merged.merge(&run(&b));
         assert_eq!(merged.total_accesses() as usize, a.len() + b.len());
     });
+}
+
+/// The testkit's named families behave as documented when replayed
+/// through the exact tracker: a loop's re-accesses all land at distance
+/// `keys`, and a one-pass scan is all cold misses.
+#[test]
+fn named_families_have_their_signature_distances() {
+    let mut g = Gen::from_seed(41);
+    let keys = 32u64;
+    let t = TraceFamily::Loop { keys }.generate(&mut g, 96);
+    let mut tracker = MattsonTracker::new(4096);
+    for (i, &k) in t.iter().enumerate() {
+        let d = tracker.access(k);
+        if i < keys as usize {
+            assert_eq!(d, None, "first pass is cold");
+        } else {
+            assert_eq!(d, Some(keys), "loop re-access distance is the loop length");
+        }
+    }
+
+    let scan = TraceFamily::SequentialScan { keys: 8192 }.generate(&mut g, 4096);
+    let mut tracker = MattsonTracker::new(8192);
+    assert!(
+        scan.iter().all(|&k| tracker.access(k).is_none()),
+        "a one-pass scan never re-references"
+    );
 }
