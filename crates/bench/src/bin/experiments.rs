@@ -5,7 +5,8 @@
 //!              ablation-fences|ablation-weights|ablation-coarse|
 //!              ablation-mrc-threshold|ablation-mrc-approx|
 //!              ablation-mrc-sampled|all]
-//!             [--jobs <N>] [--trace <path>] [--metrics <dir>] [--bench-json]
+//!             [--jobs <N>] [--trace <path>] [--metrics <dir>]
+//!             [--profile-folded <path>] [--bench-json]
 //! ```
 //!
 //! Every figure is a self-contained job from the registry in
@@ -33,6 +34,15 @@
 //! instrumented figures) goes to *stderr*, keeping stdout deterministic.
 //! `fig3-mini` is a miniature fig3 used by the CI smoke test.
 //!
+//! `--profile-folded <path>` attaches the span profiler to the
+//! controller-driven figures and writes the merged *sim-unit* folded
+//! stack dump (inferno / `flamegraph.pl` input) to `<path>`. Sim units
+//! derive only from simulation state (interval counts, simulated
+//! microseconds, page counts), so the dump is byte-identical across
+//! runs and job counts — profiles merge by stack path at commit time.
+//! The wall-clock folded dump and flat overhead report go to *stderr*;
+//! stdout and all artifacts stay byte-identical to an unprofiled run.
+//!
 //! `--bench-json` records per-figure and total wall-clock time into
 //! `BENCH_experiments.json` (the `Bench::named` JSON shape), with every
 //! entry prefixed `jobs=<N>/`, so the parallel speedup is diffable
@@ -59,6 +69,7 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_dir: Option<String> = None;
+    let mut profile_folded: Option<String> = None;
     let mut bench_json = false;
     let mut serve_port: Option<u16> = None;
     let mut serve_hold_ms: u64 = 0;
@@ -88,6 +99,13 @@ fn main() {
                 std::process::exit(2);
             }
             metrics_dir = Some(args[i + 1].clone());
+            i += 2;
+        } else if args[i] == "--profile-folded" {
+            if i + 1 >= args.len() {
+                eprintln!("--profile-folded requires a path");
+                std::process::exit(2);
+            }
+            profile_folded = Some(args[i + 1].clone());
             i += 2;
         } else if args[i] == "--bench-json" {
             bench_json = true;
@@ -151,6 +169,7 @@ fn main() {
         trace_path,
         metrics_dir,
         capture_exposition: server.is_some(),
+        profile: profile_folded.is_some(),
     };
 
     // Figures execute on the worker pool; this closure is the commit
@@ -188,6 +207,21 @@ fn main() {
         // Real wall-clock timings: stderr only, so stdout stays
         // byte-identical across runs and job counts.
         eprint!("{}", merged_profile.report(instrumented_wall));
+    }
+    if let Some(path) = &profile_folded {
+        let folded = merged_profile.folded_sim();
+        if let Err(e) = odlb_telemetry::validate_folded(&folded) {
+            eprintln!("{path}: refusing to write invalid folded dump: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(path, &folded) {
+            eprintln!("{path}: cannot write: {e}");
+            std::process::exit(1);
+        }
+        // The wall-clock flamegraph of the same stacks: stderr only,
+        // since wall timings vary run to run.
+        eprint!("{}", merged_profile.folded_wall());
+        eprintln!("profile: wrote {path} ({} stacks)", folded.lines().count());
     }
     if let Some(b) = &mut bench {
         b.record_wall(&format!("jobs={jobs}/total"), total_wall);

@@ -2,7 +2,7 @@
 //! or a live exposition served by `experiments --serve`.
 //!
 //! ```text
-//! promcheck <file.prom|file.csv|http://host:port/metrics> [more ...]
+//! promcheck <file.prom|file.csv|file.folded|http://host:port/metrics> [more ...]
 //! ```
 //!
 //! `.prom` files are checked against the Prometheus text exposition
@@ -11,12 +11,15 @@
 //! bucket bounds with non-decreasing cumulative counts, `+Inf` equal to
 //! `_count`). `.csv` files are checked for the long-format header, field
 //! count, non-decreasing timestamps and per-series monotone counters.
+//! `.folded` files (written by `experiments --profile-folded`) are
+//! checked against the folded-stacks rules: `frames <count>` lines,
+//! non-empty `;`-joined frames, strictly sorted by frame vector.
 //! `http://` arguments are fetched over a plain socket (no external
 //! HTTP client) and validated as expositions; an empty exposition is
 //! rejected, so the CI scrape smoke test fails if it fetches before the
 //! run published anything. Exits non-zero on the first invalid input.
 
-use odlb_telemetry::{validate_csv, validate_prometheus};
+use odlb_telemetry::{validate_csv, validate_folded, validate_prometheus};
 use std::io::{Read, Write};
 
 /// Fetches `http://host:port/path` with a raw one-shot GET. Returns the
@@ -56,7 +59,9 @@ fn fetch_url(url: &str) -> Result<String, String> {
 fn main() {
     let files: Vec<String> = std::env::args().skip(1).collect();
     if files.is_empty() {
-        eprintln!("usage: promcheck <file.prom|file.csv|http://host:port/metrics> [more ...]");
+        eprintln!(
+            "usage: promcheck <file.prom|file.csv|file.folded|http://host:port/metrics> [more ...]"
+        );
         std::process::exit(2);
     }
     let mut failed = false;
@@ -84,6 +89,17 @@ fn main() {
         if file.ends_with(".csv") {
             match validate_csv(&content) {
                 Ok(rows) => println!("{file}: ok ({rows} rows)"),
+                Err(e) => {
+                    eprintln!("{file}: INVALID: {e}");
+                    failed = true;
+                }
+            }
+        } else if file.ends_with(".folded") {
+            match validate_folded(&content) {
+                Ok(stats) => println!(
+                    "{file}: ok ({} stacks, max depth {})",
+                    stats.lines, stats.max_depth
+                ),
                 Err(e) => {
                     eprintln!("{file}: INVALID: {e}");
                     failed = true;

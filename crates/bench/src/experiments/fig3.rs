@@ -177,6 +177,9 @@ pub fn run_instrumented(
     if telemetry.is_active() {
         sim.set_telemetry(telemetry.clone());
     }
+    if let Some(profiler) = &profiler {
+        sim.set_profiler(profiler.clone());
+    }
     sim.start();
 
     let mut controller = SelectiveRetuningController::new(ControllerConfig::default());

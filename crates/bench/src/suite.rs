@@ -65,6 +65,10 @@ pub struct SuiteConfig {
     /// `--serve`: capture each instrumented figure's final exposition so
     /// the caller can publish it to the live endpoint at commit time.
     pub capture_exposition: bool,
+    /// `--profile-folded`: attach a span profiler to instrumented figures
+    /// even without `--metrics`/`--serve`, so the caller can merge and
+    /// dump folded stacks.
+    pub profile: bool,
 }
 
 /// Everything one figure produces, buffered so the caller can commit it
@@ -153,20 +157,30 @@ fn traced(
     });
     let metrics_dir = cfg.metrics_dir.clone();
     let capture = cfg.capture_exposition;
+    let profile = cfg.profile;
     Box::new(move || {
         let tracer = Tracer::new();
         let jsonl = trace_path
             .as_ref()
             .map(|_| tracer.attach(JsonlSink::new(Vec::new())));
         let digest = tracer.attach(DigestSink::new());
-        let (telemetry, profiler) = if metrics_dir.is_some() || capture {
-            (Telemetry::attached(), Some(SpanProfiler::shared()))
+        let telemetry = if metrics_dir.is_some() || capture {
+            Telemetry::attached()
         } else {
-            (Telemetry::inactive(), None)
+            Telemetry::inactive()
         };
+        let profiler = (telemetry.is_active() || profile).then(SpanProfiler::shared);
+        // Root spans: every path in the folded dumps starts
+        // `experiments;<figure>;…`, so multi-figure merges stay
+        // attributable per figure.
+        let _suite = odlb_telemetry::enter_span(&profiler, "experiments");
+        let _figure = odlb_telemetry::enter_span(&profiler, name);
         let start = Instant::now();
         let body = run(tracer, telemetry.clone(), profiler.clone());
         let wall = start.elapsed();
+        // Close the roots before snapshotting: spans record on exit.
+        drop(_figure);
+        drop(_suite);
 
         let mut stdout = format!("{}{body}\n", banner(title));
         {
@@ -340,6 +354,7 @@ mod tests {
             trace_path: Some("trace.jsonl".to_string()),
             metrics_dir: Some("metrics".to_string()),
             capture_exposition: false,
+            profile: false,
         };
         let mut outputs = Vec::new();
         run_suite(&["fig3-mini"], &cfg, |o| outputs.push(o));

@@ -14,7 +14,7 @@
 use crate::pool::{AccessOutcome, BufferPool, ClassCounters};
 use odlb_metrics::ClassId;
 use odlb_storage::PageId;
-use odlb_telemetry::Telemetry;
+use odlb_telemetry::{enter_span, span_units, SharedSpanProfiler, Telemetry};
 use std::collections::HashMap;
 
 /// A buffer pool with optional per-class quota partitions.
@@ -23,6 +23,7 @@ pub struct PartitionedPool {
     total_pages: usize,
     general: BufferPool,
     quotas: HashMap<ClassId, BufferPool>,
+    profiler: Option<SharedSpanProfiler>,
 }
 
 /// Errors from quota manipulation.
@@ -48,7 +49,15 @@ impl PartitionedPool {
             total_pages,
             general: BufferPool::new(total_pages),
             quotas: HashMap::new(),
+            profiler: None,
         }
+    }
+
+    /// Installs a span profiler: each prefetch batch records a
+    /// `bufferpool_prefetch` span whose sim units are the pages actually
+    /// inserted. Observation-only.
+    pub fn set_profiler(&mut self, profiler: SharedSpanProfiler) {
+        self.profiler = Some(profiler);
     }
 
     /// Total configured pages across all partitions.
@@ -122,10 +131,13 @@ impl PartitionedPool {
 
     /// Prefetches pages on behalf of `class` into its routed partition.
     pub fn prefetch(&mut self, class: ClassId, pages: impl IntoIterator<Item = PageId>) -> u64 {
-        match self.quotas.get_mut(&class) {
+        let _span = enter_span(&self.profiler, "bufferpool_prefetch");
+        let inserted = match self.quotas.get_mut(&class) {
             Some(p) => p.prefetch(class, pages),
             None => self.general.prefetch(class, pages),
-        }
+        };
+        span_units(&self.profiler, inserted);
+        inserted
     }
 
     /// Counters for one class (from whichever partition serves it).

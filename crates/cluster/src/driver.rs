@@ -19,7 +19,9 @@ use odlb_metrics::{AppId, ClassId, IntervalReport, QueryLogRecord, ServerId, Sla
 use odlb_mrc::MissRatioCurve;
 use odlb_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use odlb_storage::{DiskModel, DomainId, SharedIoPath};
-use odlb_telemetry::{LogLinearHistogram, Telemetry};
+use odlb_telemetry::{
+    enter_span, profile_span, span_units, LogLinearHistogram, SharedSpanProfiler, Telemetry,
+};
 use odlb_trace::{TraceEvent, Tracer};
 use odlb_workload::{ClientConfig, ClientPool, LoadFunction, WorkloadSpec};
 use std::collections::BTreeMap;
@@ -147,6 +149,7 @@ pub struct Simulation {
     started: bool,
     tracer: Tracer,
     telemetry: Telemetry,
+    profiler: Option<SharedSpanProfiler>,
     interval_seq: u64,
 }
 
@@ -164,6 +167,7 @@ impl Simulation {
             started: false,
             tracer: Tracer::new(),
             telemetry: Telemetry::inactive(),
+            profiler: None,
             interval_seq: 0,
         }
     }
@@ -189,6 +193,22 @@ impl Simulation {
         }
     }
 
+    /// Installs a span profiler. The driver opens one `interval` span
+    /// per [`Simulation::run_interval`] and an `engine_execute` span per
+    /// dispatched query; existing and future engines and every server's
+    /// I/O path share the same profiler, so their spans nest under the
+    /// driver's. Observation-only: results, traces and artifacts are
+    /// byte-identical with or without a profiler attached.
+    pub fn set_profiler(&mut self, profiler: SharedSpanProfiler) {
+        for inst in self.instances.iter_mut() {
+            inst.engine.set_profiler(profiler.clone());
+        }
+        for srv in self.servers.iter_mut() {
+            srv.io.set_profiler(profiler.clone());
+        }
+        self.profiler = Some(profiler);
+    }
+
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -202,9 +222,13 @@ impl Simulation {
     /// Adds a physical server with an explicit disk model (e.g. a wide
     /// RAID stripe for CPU-bound experiments).
     pub fn add_server_with_disk(&mut self, cores: usize, disk: DiskModel) -> ServerId {
+        let mut io = SharedIoPath::new(disk);
+        if let Some(p) = &self.profiler {
+            io.set_profiler(p.clone());
+        }
         self.servers.push(ServerState {
             cpu: odlb_sim::Station::new(cores),
-            io: SharedIoPath::new(disk),
+            io,
         });
         ServerId((self.servers.len() - 1) as u32)
     }
@@ -226,6 +250,9 @@ impl Simulation {
         let mut engine = DbEngine::new(engine, self.now);
         if self.telemetry.is_active() {
             engine.set_telemetry(self.telemetry.clone(), &id.to_string());
+        }
+        if let Some(p) = &self.profiler {
+            engine.set_profiler(p.clone());
         }
         self.instances.push(InstanceState {
             server: server.0 as usize,
@@ -318,6 +345,9 @@ impl Simulation {
                 self.telemetry.clone(),
                 &InstanceId(self.instances.len() as u32).to_string(),
             );
+        }
+        if let Some(p) = &self.profiler {
+            engine.set_profiler(p.clone());
         }
         self.instances.push(InstanceState {
             server: candidate,
@@ -535,6 +565,10 @@ impl Simulation {
     /// Runs one measurement interval and closes it.
     pub fn run_interval(&mut self) -> IntervalOutcome {
         assert!(self.started, "call start() first");
+        // The driver-level span: event dispatch and interval close nest
+        // under it. Its sim units are the interval's simulated length.
+        let _interval = enter_span(&self.profiler, "interval");
+        span_units(&self.profiler, self.config.measurement_interval.as_micros());
         let tick_at = self.last_tick + self.config.measurement_interval;
         while let Some(t) = self.queue.peek_time() {
             if t > tick_at {
@@ -546,7 +580,8 @@ impl Simulation {
         }
         self.now = tick_at;
         self.last_tick = tick_at;
-        self.close_interval(tick_at)
+        let profiler = self.profiler.clone();
+        profile_span(&profiler, "close_interval", || self.close_interval(tick_at))
     }
 
     fn close_interval(&mut self, end: SimTime) -> IntervalOutcome {
@@ -557,9 +592,22 @@ impl Simulation {
         }
         let mut app_latency = BTreeMap::new();
         let mut app_throughput = BTreeMap::new();
+        let mut app_p95 = BTreeMap::new();
         let mut sla = BTreeMap::new();
         for app in &mut self.apps {
             let id = app.spec.app;
+            // Tail latency across the app's classes and replicas this
+            // interval: merge the per-class interval histograms.
+            let mut tail: Option<LogLinearHistogram> = None;
+            for report in reports.values() {
+                for (class, hist) in &report.latency_histograms {
+                    if class.app == id {
+                        tail.get_or_insert_with(LogLinearHistogram::default)
+                            .merge(hist);
+                    }
+                }
+            }
+            app_p95.insert(id, tail.and_then(|h| h.quantile(0.95)));
             // Aggregate across instances: weighted mean latency.
             let mut lat_weight = 0.0;
             let mut weight = 0.0;
@@ -595,7 +643,14 @@ impl Simulation {
             .collect();
         let start = end.saturating_start(self.config.measurement_interval);
         if self.telemetry.is_active() {
-            self.export_interval_telemetry(end, &app_latency, &app_throughput, &sla, &servers);
+            self.export_interval_telemetry(
+                end,
+                &app_latency,
+                &app_throughput,
+                &app_p95,
+                &sla,
+                &servers,
+            );
         }
         if self.tracer.is_active() {
             self.tracer.emit(TraceEvent::IntervalClosed {
@@ -636,6 +691,7 @@ impl Simulation {
         end: SimTime,
         app_latency: &BTreeMap<AppId, Option<f64>>,
         app_throughput: &BTreeMap<AppId, f64>,
+        app_p95: &BTreeMap<AppId, Option<u64>>,
         sla: &BTreeMap<AppId, SlaOutcome>,
         servers: &[ServerSnapshot],
     ) {
@@ -668,6 +724,16 @@ impl Simulation {
                     &labels,
                 ) {
                     g.set(latency);
+                }
+            }
+            if let Some(p95) = app_p95[&app.spec.app] {
+                if let Some(g) = t.gauge(
+                    "odlb_app_latency_p95_us",
+                    "95th-percentile query latency over the closed interval \
+                     (simulated microseconds, histogram-estimated).",
+                    &labels,
+                ) {
+                    g.set(p95 as f64);
                 }
             }
             if let Some(g) = t.gauge(
@@ -870,11 +936,16 @@ impl Simulation {
         let idx = instance.0 as usize;
         let server = self.instances[idx].server;
         let domain = self.instances[idx].domain;
+        // One span per dispatched query; its sim units are the query's
+        // simulated latency, so the deterministic flamegraph shows where
+        // simulated time goes (engine sub-spans attribute I/O and CPU).
+        let _span = enter_span(&self.profiler, "engine_execute");
         let (instances, servers) = (&mut self.instances, &mut self.servers);
         let srv = &mut servers[server];
         let result = instances[idx]
             .engine
             .execute(now, spec, &mut srv.cpu, &mut srv.io, domain);
+        span_units(&self.profiler, result.record.latency.as_micros());
         instances[idx].outstanding += 1;
         self.queue.schedule(
             result.completion,
@@ -1154,6 +1225,10 @@ mod tests {
         let prom = t.render_prometheus().unwrap();
         odlb_telemetry::validate_prometheus(&prom).expect("valid exposition");
         assert!(prom.contains(&format!("odlb_app_throughput_qps{{app=\"{app}\"}}")));
+        assert!(
+            prom.contains(&format!("odlb_app_latency_p95_us{{app=\"{app}\"}}")),
+            "interval tail-latency gauge from the merged class histograms"
+        );
         assert!(prom.contains("odlb_instance_queue_depth{instance=\"inst0\"}"));
         assert!(prom.contains("odlb_server_cpu_utilisation{server=\"srv0\"}"));
         assert!(prom.contains("odlb_io_requests_total{domain=\"1\",machine=\"srv0\"}"));
@@ -1217,6 +1292,42 @@ mod tests {
             (o.app_throughput[&app], o.app_latency[&app])
         };
         assert_eq!(run(false), run(true), "telemetry must be observation-only");
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_results() {
+        let run = |attach: bool| {
+            let (mut sim, app) = small_sim(8);
+            if attach {
+                sim.set_profiler(odlb_telemetry::SpanProfiler::shared());
+            }
+            for _ in 0..3 {
+                sim.run_interval();
+            }
+            let o = sim.run_interval();
+            (o.app_throughput[&app], o.app_latency[&app])
+        };
+        assert_eq!(run(false), run(true), "profiling must be observation-only");
+    }
+
+    #[test]
+    fn sim_folded_profile_is_deterministic_and_nested() {
+        let run = || {
+            let profiler = odlb_telemetry::SpanProfiler::shared();
+            let (mut sim, _) = small_sim(8);
+            sim.set_profiler(profiler.clone());
+            for _ in 0..3 {
+                sim.run_interval();
+            }
+            let folded = profiler.borrow().folded_sim();
+            folded
+        };
+        let folded = run();
+        assert_eq!(folded, run(), "sim folded dump must be run-invariant");
+        let stats = odlb_telemetry::validate_folded(&folded).expect("valid folded dump");
+        assert!(stats.max_depth >= 3, "driver spans nest: {folded}");
+        assert!(folded.contains("interval;engine_execute;pages;storage_read "));
+        assert!(folded.contains("interval;close_interval "));
     }
 
     #[test]

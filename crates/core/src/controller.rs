@@ -9,7 +9,7 @@ use crate::memory::{
 use odlb_cluster::{InstanceId, IntervalOutcome, Simulation};
 use odlb_metrics::{AppId, ClassId, MetricKind, StableStateStore};
 use odlb_outlier::{detect, top_k_heavyweight, Severity};
-use odlb_telemetry::{profile_span, SharedSpanProfiler, Telemetry};
+use odlb_telemetry::{enter_span, profile_span, SharedSpanProfiler, Telemetry};
 use odlb_trace::{TraceEvent, Tracer};
 use std::collections::HashMap;
 
@@ -351,6 +351,7 @@ impl SelectiveRetuningController {
                     &mut self.stable,
                     &self.config,
                     outcome.end,
+                    &profiler,
                 )
             });
             for (class, params, changed) in examined {
@@ -362,7 +363,7 @@ impl SelectiveRetuningController {
                 });
             }
             match profile_span(&profiler, "action_selection", || {
-                plan_memory_action(sim, inst, report, &problems, &self.config)
+                plan_memory_action(sim, inst, report, &problems, &self.config, &profiler)
             }) {
                 MemoryPlan::Quotas(quotas) => {
                     for (class, pages) in quotas {
@@ -486,10 +487,20 @@ impl ClusterController for SelectiveRetuningController {
     fn on_interval(&mut self, sim: &mut Simulation, outcome: &IntervalOutcome) -> Vec<Action> {
         let mut actions = Vec::new();
         let profiler = self.profiler.clone();
+        // Root span of the controller's slice of the interval: every
+        // phase (and the sub-phases inside them) nests under it, so the
+        // folded dump shows `…;controller;collection;stable_states`.
+        let _controller = enter_span(&profiler, "controller");
         profile_span(&profiler, "collection", || {
-            self.complete_pending(sim, &mut actions);
-            self.record_stable_states(outcome);
-            self.ensure_initial_mrcs(sim, outcome);
+            profile_span(&profiler, "complete_pending", || {
+                self.complete_pending(sim, &mut actions)
+            });
+            profile_span(&profiler, "stable_states", || {
+                self.record_stable_states(outcome)
+            });
+            profile_span(&profiler, "initial_mrcs", || {
+                self.ensure_initial_mrcs(sim, outcome)
+            });
         });
 
         for c in self.cooldown.values_mut() {

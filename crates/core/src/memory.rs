@@ -12,6 +12,7 @@ use odlb_cluster::{InstanceId, Simulation};
 use odlb_metrics::{ClassId, IntervalReport, MetricKind, ServerId, StableStateStore};
 use odlb_mrc::{fit_quotas, MrcParams, QuotaRequest};
 use odlb_sim::SimTime;
+use odlb_telemetry::{profile_span, SharedSpanProfiler};
 
 /// Stable-store key for an instance (the paper's per-server context; one
 /// engine per server in its testbed, so the instance is the natural key).
@@ -62,16 +63,22 @@ pub fn find_problem_classes(
     stable: &mut StableStateStore,
     config: &ControllerConfig,
     now: SimTime,
+    profiler: &Option<SharedSpanProfiler>,
 ) -> (Vec<ProblemClass>, Vec<(ClassId, MrcParams, bool)>) {
     let cap = sim.pool_pages(instance);
     let key = instance_key(instance);
     let mut problems = Vec::new();
     let mut examined = Vec::new();
     for &class in suspects {
-        let Some(curve) = sim.recompute_mrc_with(instance, class, cap, config.mrc_mode) else {
+        // The dominant cost of the MRC-update phase: one sub-span per
+        // suspect recomputation, so flamegraphs attribute it separately
+        // from the bookkeeping around it.
+        let Some(params) = profile_span(profiler, "recompute", || {
+            sim.recompute_mrc_with(instance, class, cap, config.mrc_mode)
+                .map(|curve| curve.params(cap, config.mrc_threshold))
+        }) else {
             continue;
         };
-        let params = curve.params(cap, config.mrc_threshold);
         let prior = stable.get(key, class).and_then(|s| s.mrc);
         let (is_problem, changed) = match prior {
             Some(old) => {
@@ -107,6 +114,7 @@ pub fn plan_memory_action(
     report: &IntervalReport,
     problems: &[ProblemClass],
     config: &ControllerConfig,
+    profiler: &Option<SharedSpanProfiler>,
 ) -> MemoryPlan {
     if problems.is_empty() {
         return MemoryPlan::Nothing;
@@ -116,12 +124,14 @@ pub fn plan_memory_action(
     // must account for "the rest of the application queries scheduled on
     // the same physical server".
     let mut curves = Vec::new();
-    for (&class, metrics) in &report.per_class {
-        if let Some(curve) = sim.recompute_mrc_with(instance, class, cap, config.mrc_mode) {
-            let rate = metrics[MetricKind::Throughput];
-            curves.push((class, curve, rate));
+    profile_span(profiler, "recompute", || {
+        for (&class, metrics) in &report.per_class {
+            if let Some(curve) = sim.recompute_mrc_with(instance, class, cap, config.mrc_mode) {
+                let rate = metrics[MetricKind::Throughput];
+                curves.push((class, curve, rate));
+            }
         }
-    }
+    });
     if curves.is_empty() {
         return MemoryPlan::Nothing;
     }
@@ -140,7 +150,7 @@ pub fn plan_memory_action(
 
     // Keep at least one page for the general partition.
     let budget = cap.saturating_sub(1);
-    match fit_quotas(budget, &requests) {
+    match profile_span(profiler, "fit_quotas", || fit_quotas(budget, &requests)) {
         Some(assignments) => {
             let quotas = problems
                 .iter()
@@ -227,15 +237,29 @@ mod tests {
         let mut stable = StableStateStore::new();
         let suspects = vec![ClassId::new(app, 0), ClassId::new(app, 1)];
         let config = ControllerConfig::default();
-        let (problems, examined) =
-            find_problem_classes(&sim, inst, &suspects, &mut stable, &config, sim.now());
+        let (problems, examined) = find_problem_classes(
+            &sim,
+            inst,
+            &suspects,
+            &mut stable,
+            &config,
+            sim.now(),
+            &None,
+        );
         assert_eq!(problems.len(), 2, "no prior MRC: both are problems");
         assert!(problems.iter().all(|p| !p.changed));
         assert_eq!(examined.len(), 2);
         // Parameters are now the stable reference: re-running finds no
         // problems.
-        let (again, _) =
-            find_problem_classes(&sim, inst, &suspects, &mut stable, &config, sim.now());
+        let (again, _) = find_problem_classes(
+            &sim,
+            inst,
+            &suspects,
+            &mut stable,
+            &config,
+            sim.now(),
+            &None,
+        );
         assert!(again.is_empty(), "unchanged curves are not problems");
     }
 
@@ -251,6 +275,7 @@ mod tests {
             &mut stable,
             &ControllerConfig::default(),
             sim.now(),
+            &None,
         );
         assert!(problems.is_empty());
         assert!(examined.is_empty());
@@ -271,7 +296,14 @@ mod tests {
             },
             changed: true,
         }];
-        let plan = plan_memory_action(&sim, inst, &report, &problems, &ControllerConfig::default());
+        let plan = plan_memory_action(
+            &sim,
+            inst,
+            &report,
+            &problems,
+            &ControllerConfig::default(),
+            &None,
+        );
         match plan {
             MemoryPlan::Quotas(quotas) => {
                 assert_eq!(quotas.len(), 1);
@@ -285,7 +317,14 @@ mod tests {
     #[test]
     fn empty_problem_set_plans_nothing() {
         let (sim, _, inst, report) = sim_with_traffic();
-        let plan = plan_memory_action(&sim, inst, &report, &[], &ControllerConfig::default());
+        let plan = plan_memory_action(
+            &sim,
+            inst,
+            &report,
+            &[],
+            &ControllerConfig::default(),
+            &None,
+        );
         assert_eq!(plan, MemoryPlan::Nothing);
     }
 

@@ -10,7 +10,7 @@ use odlb_metrics::{
 use odlb_mrc::MissRatioCurve;
 use odlb_sim::{SimTime, Station};
 use odlb_storage::{DomainId, IoKind, ReadAheadDetector, SharedIoPath, EXTENT_PAGES};
-use odlb_telemetry::Telemetry;
+use odlb_telemetry::{enter_span, span_units, SharedSpanProfiler, Telemetry};
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
@@ -70,6 +70,7 @@ pub struct DbEngine {
     collector: ClassStatsCollector,
     locks: LockManager,
     telemetry: Telemetry,
+    profiler: Option<SharedSpanProfiler>,
     instance_label: String,
     series: BTreeMap<ClassId, ClassSeries>,
 }
@@ -86,9 +87,19 @@ impl DbEngine {
             locks: LockManager::new(),
             config,
             telemetry: Telemetry::inactive(),
+            profiler: None,
             instance_label: String::new(),
             series: BTreeMap::new(),
         }
+    }
+
+    /// Installs a span profiler on the engine and its buffer pool: query
+    /// execution records a `pages` span (sim units = pages accessed) and
+    /// prefetch batches a `bufferpool_prefetch` span. Observation-only —
+    /// execution outcomes are unchanged.
+    pub fn set_profiler(&mut self, profiler: SharedSpanProfiler) {
+        self.pool.set_profiler(profiler.clone());
+        self.profiler = Some(profiler);
     }
 
     /// Attaches a telemetry handle; `instance` labels every series this
@@ -140,6 +151,8 @@ impl DbEngine {
         let mut last_io_done = now;
 
         let mut io_service = odlb_sim::SimDuration::ZERO;
+        let pages_span = enter_span(&self.profiler, "pages");
+        span_units(&self.profiler, spec.pages.len() as u64);
         for &page in &spec.pages {
             self.windows.push(class, page);
             if self.pool.access(class, page).is_miss() {
@@ -158,6 +171,7 @@ impl DbEngine {
                     .prefetch(class, (0..EXTENT_PAGES).map(|i| start.offset(i)));
             }
         }
+        drop(pages_span);
 
         let cpu_adm = cpu.submit(now, spec.cpu_demand());
         let mut completion = cpu_adm.completion.max(last_io_done);

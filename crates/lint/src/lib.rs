@@ -37,7 +37,19 @@ pub fn policy_for(rel: &str) -> Option<Policy> {
         return None;
     }
 
-    let mut p = Policy::default();
+    // D05: folded-stacks dumps leave the workspace only through the
+    // validated exporter path — the profiler that renders them, the
+    // exporter that defines `validate_folded`, and the experiments
+    // binary that validates-then-writes. Any other call site could ship
+    // a dump the validator never saw.
+    let folded = rel != "crates/telemetry/src/profiler.rs"
+        && rel != "crates/telemetry/src/export.rs"
+        && rel != "crates/bench/src/bin/experiments.rs";
+    let mut p = Policy {
+        folded,
+        ..Policy::default()
+    };
+
     if rel.contains("/examples/") {
         p.timing = true;
         p.rng = true;
@@ -213,6 +225,28 @@ mod tests {
             policy_for("crates/bench/src/bin/experiments.rs")
                 .unwrap()
                 .rng
+        );
+
+        // folded dumps leave only through the validated exporter path:
+        // the profiler renders, the exporter validates, the experiments
+        // binary writes — everyone else must go through them
+        assert!(
+            !policy_for("crates/telemetry/src/profiler.rs")
+                .unwrap()
+                .folded
+        );
+        assert!(!policy_for("crates/telemetry/src/export.rs").unwrap().folded);
+        assert!(
+            !policy_for("crates/bench/src/bin/experiments.rs")
+                .unwrap()
+                .folded
+        );
+        assert!(policy_for("crates/bench/src/suite.rs").unwrap().folded);
+        assert!(policy_for("crates/cluster/src/driver.rs").unwrap().folded);
+        assert!(
+            policy_for("crates/bench/src/bin/promcheck.rs")
+                .unwrap()
+                .folded
         );
 
         // P01 applies to binaries only

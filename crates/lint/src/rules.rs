@@ -7,6 +7,7 @@
 //! | D02  | no iteration over `HashMap`/`HashSet` in digest/export-feeding crates unless immediately sorted |
 //! | D03  | no float formatted into an artifact without an explicit precision or the shared formatter |
 //! | D04  | no `thread::spawn` and no ambient randomness outside the sim RNG |
+//! | D05  | no folded-stacks dumps rendered outside the validated exporter path |
 //! | P01  | no `unwrap()`/`expect()` on I/O results in non-test binary code |
 //!
 //! Checks are heuristic token analyses, not type checking — they are
@@ -32,6 +33,9 @@ pub struct Policy {
     pub float_fmt: bool,
     /// D04: spawned threads / ambient randomness are forbidden here.
     pub rng: bool,
+    /// D05: rendering folded-stacks dumps is forbidden here — only the
+    /// validated exporter path may (profiler, exporter, experiments bin).
+    pub folded: bool,
     /// P01: `unwrap`/`expect` on I/O results is forbidden here.
     pub io_unwrap: bool,
 }
@@ -147,6 +151,9 @@ pub fn check_file(file: &str, lexed: &Lexed, policy: Policy) -> Vec<Diagnostic> 
     }
     if policy.rng {
         rule_d04(toks, &in_test, &mut |l, m| raw.push(diag(l, "D04", m)));
+    }
+    if policy.folded {
+        rule_d05(toks, &in_test, &mut |l, m| raw.push(diag(l, "D05", m)));
     }
     if policy.io_unwrap {
         rule_p01(toks, &in_test, &mut |l, m| raw.push(diag(l, "P01", m)));
@@ -640,6 +647,29 @@ fn rule_d04(toks: &[Token], in_test: &[bool], emit: &mut impl FnMut(u32, String)
     }
 }
 
+/// D05 — folded-stacks dumps leave only through the validated exporter.
+/// Any new call site that renders a dump risks writing an artifact that
+/// `validate_folded` never saw; route it through the experiments binary's
+/// `--profile-folded` path (which validates before writing) instead.
+fn rule_d05(toks: &[Token], in_test: &[bool], emit: &mut impl FnMut(u32, String)) {
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        if toks[i].is_ident("folded_sim") || toks[i].is_ident("folded_wall") {
+            emit(
+                toks[i].line,
+                format!(
+                    "`{}` renders a folded-stacks dump outside the sanctioned exporter path; \
+                     route it through `experiments --profile-folded`, which runs \
+                     `validate_folded` before writing",
+                    toks[i].text
+                ),
+            );
+        }
+    }
+}
+
 /// P01 — binaries surface I/O failures as friendly errors, not panics.
 fn rule_p01(toks: &[Token], in_test: &[bool], emit: &mut impl FnMut(u32, String)) {
     for i in 2..toks.len() {
@@ -703,6 +733,7 @@ mod tests {
         hash_iter: true,
         float_fmt: true,
         rng: true,
+        folded: true,
         io_unwrap: true,
     };
 
@@ -781,6 +812,20 @@ fn b(v: u64) -> String { format!(\"{v}\") }";
             got.iter().filter(|(_, r)| *r == "D04").count() >= 2,
             "{got:?}"
         );
+    }
+
+    #[test]
+    fn d05_flags_folded_dump_rendering() {
+        let src = "fn f(p: &SpanProfiler) { let dump = p.folded_sim(); eprint!(\"{}\", p.folded_wall()); }";
+        let got = run(src, ALL);
+        assert_eq!(
+            got.iter().filter(|(_, r)| *r == "D05").count(),
+            2,
+            "{got:?}"
+        );
+        // A policy without `folded` (the sanctioned files) stays silent.
+        let got = run(src, Policy::default());
+        assert!(got.is_empty(), "{got:?}");
     }
 
     #[test]

@@ -1,0 +1,16 @@
+// Fixture: D05 violations — folded-stacks dumps rendered outside the
+// validated exporter path. Never compiled; lexed by tests/lint_rules.rs.
+
+fn dump_profile(profiler: &SpanProfiler) {
+    let sim = profiler.folded_sim();
+    std::fs::write("profile.folded", sim).ok();
+    eprint!("{}", profiler.folded_wall());
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may render dumps directly (they assert on the contents).
+    fn exempt(p: &SpanProfiler) -> String {
+        p.folded_sim()
+    }
+}

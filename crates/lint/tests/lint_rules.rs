@@ -10,6 +10,7 @@ const ALL: Policy = Policy {
     hash_iter: true,
     float_fmt: true,
     rng: true,
+    folded: true,
     io_unwrap: true,
 };
 
@@ -61,6 +62,12 @@ fn d04_thread_and_randomness_fixture() {
         lint_fixture("d04_thread.rs"),
         vec![(4, "D04"), (4, "D04"), (5, "D04"), (6, "D04")]
     );
+}
+
+#[test]
+fn d05_folded_dump_fixture() {
+    // Both dump renderers fire; the copy inside `#[cfg(test)]` does not.
+    assert_eq!(lint_fixture("d05_folded.rs"), vec![(5, "D05"), (7, "D05")]);
 }
 
 #[test]

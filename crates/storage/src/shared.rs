@@ -13,7 +13,7 @@
 use crate::disk::{Disk, DiskModel, IoCounters, IoKind};
 use odlb_sim::station::Admission;
 use odlb_sim::{SimDuration, SimTime};
-use odlb_telemetry::Telemetry;
+use odlb_telemetry::{enter_span, span_units, SharedSpanProfiler, Telemetry};
 use std::collections::HashMap;
 
 /// Identifies a VM domain on one physical machine. Domain 0 is the control
@@ -26,6 +26,7 @@ pub struct DomainId(pub u32);
 pub struct SharedIoPath {
     disk: Disk,
     per_domain: HashMap<DomainId, IoCounters>,
+    profiler: Option<SharedSpanProfiler>,
 }
 
 impl SharedIoPath {
@@ -34,7 +35,15 @@ impl SharedIoPath {
         SharedIoPath {
             disk: Disk::new(model),
             per_domain: HashMap::new(),
+            profiler: None,
         }
+    }
+
+    /// Installs a span profiler: every read records a `storage_read`
+    /// span whose sim units are the request's simulated service time
+    /// (microseconds). Observation-only.
+    pub fn set_profiler(&mut self, profiler: SharedSpanProfiler) {
+        self.profiler = Some(profiler);
     }
 
     /// Submits a read on behalf of `domain`. All domains share one FCFS
@@ -47,13 +56,16 @@ impl SharedIoPath {
         pages: u64,
         readahead: bool,
     ) -> Admission {
+        let _span = enter_span(&self.profiler, "storage_read");
         let entry = self.per_domain.entry(domain).or_default();
         entry.requests += 1;
         entry.pages += pages;
         if readahead {
             entry.readahead_requests += 1;
         }
-        self.disk.read(now, kind, pages, readahead)
+        let adm = self.disk.read(now, kind, pages, readahead);
+        span_units(&self.profiler, adm.completion.since(adm.start).as_micros());
+        adm
     }
 
     /// Cumulative counters for one domain.

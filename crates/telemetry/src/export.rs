@@ -339,6 +339,59 @@ pub fn validate_csv(text: &str) -> Result<usize, String> {
     Ok(rows)
 }
 
+/// Shape summary of a validated folded-stacks dump.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FoldedStats {
+    /// Unique stack paths (= lines).
+    pub lines: usize,
+    /// Deepest stack (frames on the longest path).
+    pub max_depth: usize,
+}
+
+/// Validates a folded-stacks dump (the `inferno` / `flamegraph.pl`
+/// collapsed format): one `frame;frame;… <count>` line per unique
+/// stack, frame names non-empty without `;` or whitespace, counts
+/// unsigned integers, and lines strictly sorted by stack path (the
+/// order [`crate::SpanProfiler::folded_sim`] emits) — so duplicates are
+/// impossible and two dumps are comparable with a byte diff.
+pub fn validate_folded(text: &str) -> Result<FoldedStats, String> {
+    if text.is_empty() {
+        return Err("empty folded dump (no spans recorded)".to_string());
+    }
+    let mut stats = FoldedStats::default();
+    let mut prev: Option<Vec<&str>> = None;
+    for (no, line) in text.lines().enumerate() {
+        let err = |msg: String| format!("line {}: {msg}", no + 1);
+        let (path, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err(format!("expected '<stack> <count>', got '{line}'")))?;
+        value
+            .parse::<u64>()
+            .map_err(|_| err(format!("unparseable count '{value}'")))?;
+        let frames: Vec<&str> = path.split(';').collect();
+        for frame in &frames {
+            if frame.is_empty() {
+                return Err(err(format!("empty frame in stack '{path}'")));
+            }
+            if frame.chars().any(|c| c.is_whitespace() || c == ';') {
+                return Err(err(format!("bad frame '{frame}' in stack '{path}'")));
+            }
+        }
+        if let Some(prev) = &prev {
+            if *prev >= frames {
+                return Err(err(format!(
+                    "stacks not strictly sorted: '{}' then '{path}'",
+                    prev.join(";")
+                )));
+            }
+        }
+        stats.lines += 1;
+        stats.max_depth = stats.max_depth.max(frames.len());
+        prev = Some(frames);
+    }
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,5 +509,51 @@ mod tests {
         assert_eq!(render_value(f64::INFINITY), "0");
         assert_eq!(render_value(2.0), "2");
         assert_eq!(render_value(0.25), "0.25");
+    }
+
+    #[test]
+    fn folded_validator_accepts_profiler_output() {
+        let shared = crate::SpanProfiler::shared();
+        let opt = Some(shared.clone());
+        crate::profile_span(&opt, "experiments", || {
+            crate::profile_span(&opt, "fig3", || {
+                crate::profile_span(&opt, "controller", || {
+                    crate::profile_span(&opt, "mrc_update", || ());
+                });
+            });
+        });
+        let p = shared.borrow();
+        let sim = validate_folded(&p.folded_sim()).expect("valid sim dump");
+        assert_eq!(sim.lines, 4);
+        assert_eq!(sim.max_depth, 4);
+        let wall = validate_folded(&p.folded_wall()).expect("valid wall dump");
+        assert_eq!(wall, sim);
+    }
+
+    #[test]
+    fn folded_validator_rejects_malformed_dumps() {
+        for (bad, what) in [
+            ("", "empty"),
+            ("a;b\n", "expected"),
+            ("a;b notanumber\n", "unparseable count"),
+            ("a;;b 3\n", "empty frame"),
+            ("b 1\na 2\n", "not strictly sorted"),
+            ("a 1\na 2\n", "not strictly sorted"),
+            ("a;b c 3\n", "bad frame"),
+        ] {
+            let err = validate_folded(bad).unwrap_err();
+            assert!(err.contains(what), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn folded_order_is_by_frames_not_raw_bytes() {
+        // `["a","b"] < ["a!"]` as frame vectors even though the raw
+        // lines compare the other way ('!' < ';'): the validator must
+        // follow the profiler's BTreeMap path order.
+        let good = "a;b 1\na! 2\n";
+        validate_folded(good).expect("frame order");
+        let bad = "a! 2\na;b 1\n";
+        assert!(validate_folded(bad).is_err());
     }
 }

@@ -15,8 +15,11 @@
 //! Determinism: metric values derive only from simulation state (counts,
 //! simulated microseconds), never wall-clock time, and every export
 //! iterates `BTreeMap`s — so two same-seed runs produce byte-identical
-//! `.prom` and `.csv` artifacts. Wall-clock profiler timings stay in the
-//! stdout report only.
+//! `.prom` and `.csv` artifacts. The [`SpanProfiler`] records nested
+//! span stacks in two dimensions: wall-clock timings stay on stderr
+//! (flat report + wall folded dump), while the sim-unit folded dump
+//! derives only from simulation state and is itself a byte-diffable
+//! artifact (see [`validate_folded`]).
 
 mod export;
 mod histogram;
@@ -25,10 +28,14 @@ mod registry;
 mod serve;
 
 pub use export::{
-    render_csv, render_prometheus, validate_csv, validate_prometheus, ExpositionStats,
+    render_csv, render_prometheus, validate_csv, validate_folded, validate_prometheus,
+    ExpositionStats, FoldedStats,
 };
 pub use histogram::{LogLinearHistogram, DEFAULT_GROUPING_POWER};
-pub use profiler::{profile_span, PhaseStats, SharedSpanProfiler, SpanProfiler};
+pub use profiler::{
+    enter_span, profile_span, span_units, PhaseStats, SharedSpanProfiler, SpanGuard, SpanProfiler,
+    SpanStats,
+};
 pub use registry::{Counter, FamilyKind, Gauge, Histogram, MetricsRegistry, SampleRow, Snapshot};
 pub use serve::MetricsServer;
 

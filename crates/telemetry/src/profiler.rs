@@ -1,12 +1,25 @@
-//! A span profiler for controller overhead: wall-clock time per named
-//! phase (collection, outlier detection, MRC update, action selection),
-//! rendered as a per-run report that quantifies the paper's claim that
+//! A nested span profiler: wall-clock and deterministic sim-unit time
+//! per *stack path* (`experiments;fig3;controller;mrc_update`), rendered
+//! as an `inferno`-compatible folded-stacks dump and as the flat per-
+//! phase overhead report that quantifies the paper's claim that
 //! fine-grained instrumentation and control add negligible overhead.
 //!
-//! Timings are real wall-clock durations and therefore *never* enter the
-//! deterministic `.prom`/`.csv` artifacts — the experiments binary
-//! prints the report to stderr, keeping stdout byte-identical across
-//! runs and job counts.
+//! Two dimensions are recorded per path:
+//!
+//! * **wall-clock** (`Instant`-based): real time, *never* part of the
+//!   deterministic `.prom`/`.csv` artifacts — the experiments binary
+//!   prints the flat report and the wall folded dump to stderr, keeping
+//!   stdout byte-identical across runs and job counts.
+//! * **sim units**: one unit per span entry plus any explicitly
+//!   attributed deterministic quantity ([`SpanProfiler::add_units`],
+//!   e.g. simulated service microseconds). Values derive only from
+//!   simulation state, so the sim folded dump is byte-identical across
+//!   runs and job counts and can be diffed in CI like any artifact.
+//!
+//! Spans are pushed/popped with the RAII [`SpanGuard`] (see
+//! [`enter_span`]); self-time is the span's elapsed time minus the time
+//! spent in child spans, so a phase re-entered under itself never
+//! double-counts in the flat report.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -14,21 +27,52 @@ use std::fmt::Write as _;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-/// Accumulated timings for one phase.
+/// Accumulated flat timings for one phase name (derived from the span
+/// paths; see [`SpanProfiler::phases`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseStats {
     /// Number of timed invocations.
     pub calls: u64,
-    /// Total time across invocations.
+    /// Total time across invocations (self-time based: nested
+    /// invocations of the same phase are counted once).
     pub total: Duration,
     /// Longest single invocation.
     pub max: Duration,
 }
 
-/// Accumulates wall-clock time per named phase.
+/// Accumulated statistics for one unique stack path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanStats {
+    /// Times this exact path was entered (or bulk-added).
+    pub calls: u64,
+    /// Inclusive wall time (children included).
+    pub wall_total: Duration,
+    /// Exclusive wall time (children subtracted) — the folded value.
+    pub wall_self: Duration,
+    /// Longest single inclusive invocation.
+    pub wall_max: Duration,
+    /// Deterministic units: one per entry plus explicitly attributed
+    /// quantities ([`SpanProfiler::add_units`]). Exclusive by
+    /// construction — units land on the innermost open path.
+    pub sim_units: u64,
+}
+
+/// One open span on the stack.
+#[derive(Clone, Debug)]
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    /// Wall time spent in already-closed direct children.
+    child_wall: Duration,
+    /// Units attributed while this span was innermost.
+    sim_units: u64,
+}
+
+/// Accumulates wall-clock and sim-unit time per stack path.
 #[derive(Clone, Debug, Default)]
 pub struct SpanProfiler {
-    phases: BTreeMap<&'static str, PhaseStats>,
+    paths: BTreeMap<Vec<&'static str>, SpanStats>,
+    stack: Vec<Frame>,
 }
 
 /// A shareable profiler handle (single-threaded, like the tracer).
@@ -45,14 +89,61 @@ impl SpanProfiler {
         Rc::new(RefCell::new(SpanProfiler::new()))
     }
 
-    /// Adds one invocation of `phase` that took `elapsed`.
+    /// Opens a span named `phase` nested under the currently open spans.
+    /// Prefer the RAII [`enter_span`] guard, which cannot unbalance the
+    /// stack.
+    pub fn enter(&mut self, phase: &'static str) {
+        self.stack.push(Frame {
+            name: phase,
+            start: Instant::now(),
+            child_wall: Duration::ZERO,
+            sim_units: 0,
+        });
+    }
+
+    /// Closes the innermost open span, recording its stats under the
+    /// full stack path and charging its elapsed time to the parent's
+    /// child-time.
+    pub fn exit(&mut self) {
+        let frame = self.stack.pop().expect("exit() without a matching enter()");
+        let elapsed = frame.start.elapsed();
+        let mut path: Vec<&'static str> = self.stack.iter().map(|f| f.name).collect();
+        path.push(frame.name);
+        let stats = self.paths.entry(path).or_default();
+        stats.calls += 1;
+        stats.wall_total += elapsed;
+        stats.wall_self += elapsed.saturating_sub(frame.child_wall);
+        stats.wall_max = stats.wall_max.max(elapsed);
+        stats.sim_units += 1 + frame.sim_units;
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_wall += elapsed;
+        }
+    }
+
+    /// Attributes `units` deterministic sim units (e.g. simulated
+    /// service microseconds) to the innermost open span. No-op outside
+    /// any span.
+    pub fn add_units(&mut self, units: u64) {
+        if let Some(top) = self.stack.last_mut() {
+            top.sim_units += units;
+        }
+    }
+
+    /// Number of currently open spans.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Adds one invocation of `phase` that took `elapsed`, as a
+    /// root-level (depth-1) path.
     pub fn add(&mut self, phase: &'static str, elapsed: Duration) {
         self.add_n(phase, 1, elapsed, elapsed);
     }
 
-    /// Adds `calls` invocations of `phase` in bulk: `total` time across
-    /// them, `max_single` for the longest one. Used when merging
-    /// profilers or replaying pre-aggregated timings.
+    /// Adds `calls` invocations of `phase` in bulk as a root-level path:
+    /// `total` time across them, `max_single` for the longest one. Used
+    /// when replaying pre-aggregated timings; each call also counts one
+    /// sim unit.
     pub fn add_n(
         &mut self,
         phase: &'static str,
@@ -60,43 +151,99 @@ impl SpanProfiler {
         total: Duration,
         max_single: Duration,
     ) {
-        let stats = self.phases.entry(phase).or_default();
+        let stats = self.paths.entry(vec![phase]).or_default();
         stats.calls += calls;
-        stats.total += total;
-        stats.max = stats.max.max(max_single);
+        stats.wall_total += total;
+        stats.wall_self += total;
+        stats.wall_max = stats.wall_max.max(max_single);
+        stats.sim_units += calls;
     }
 
-    /// Folds another profiler's phases into this one (summing calls and
-    /// totals, keeping the larger max). The parallel experiment runner
-    /// gives every figure its own profiler and merges them into the one
-    /// suite-level overhead report.
+    /// Folds another profiler's paths into this one (summing calls,
+    /// totals and sim units, keeping the larger max). The parallel
+    /// experiment runner gives every figure its own profiler and merges
+    /// them — by stack path, so a multi-worker merge renders the same
+    /// folded dump as a single-worker run.
     pub fn merge(&mut self, other: &SpanProfiler) {
-        for (phase, stats) in other.phases() {
-            self.add_n(phase, stats.calls, stats.total, stats.max);
+        for (path, s) in &other.paths {
+            let stats = self.paths.entry(path.clone()).or_default();
+            stats.calls += s.calls;
+            stats.wall_total += s.wall_total;
+            stats.wall_self += s.wall_self;
+            stats.wall_max = stats.wall_max.max(s.wall_max);
+            stats.sim_units += s.sim_units;
         }
     }
 
-    /// Times `f` under `phase`.
+    /// Times `f` under a span named `phase` (nested under any open
+    /// spans).
     pub fn time<R>(&mut self, phase: &'static str, f: impl FnOnce() -> R) -> R {
-        let start = Instant::now();
+        self.enter(phase);
         let out = f();
-        self.add(phase, start.elapsed());
+        self.exit();
         out
     }
 
-    /// Recorded phases in name order.
-    pub fn phases(&self) -> impl Iterator<Item = (&'static str, &PhaseStats)> {
-        self.phases.iter().map(|(name, stats)| (*name, stats))
+    /// Recorded stack paths and their stats, in path order.
+    pub fn span_paths(&self) -> impl Iterator<Item = (&[&'static str], &SpanStats)> {
+        self.paths.iter().map(|(p, s)| (p.as_slice(), s))
     }
 
-    /// Total time across all phases.
+    /// Flat per-phase view, derived from the paths in name order. A
+    /// phase's `total` is the summed *self*-time of every path the name
+    /// appears on — so re-entering a phase under itself counts once —
+    /// while `calls`/`max` come from the paths ending in the name.
+    pub fn phases(&self) -> Vec<(&'static str, PhaseStats)> {
+        let mut flat: BTreeMap<&'static str, PhaseStats> = BTreeMap::new();
+        for (path, stats) in &self.paths {
+            let leaf = *path.last().expect("paths are non-empty");
+            {
+                let entry = flat.entry(leaf).or_default();
+                entry.calls += stats.calls;
+                entry.max = entry.max.max(stats.wall_max);
+            }
+            let mut seen: Vec<&'static str> = Vec::with_capacity(path.len());
+            for &name in path {
+                if !seen.contains(&name) {
+                    seen.push(name);
+                    flat.entry(name).or_default().total += stats.wall_self;
+                }
+            }
+        }
+        flat.into_iter().collect()
+    }
+
+    /// Total profiled wall time: the sum of self-times over all paths
+    /// (equivalently, the time spent under root spans — nesting never
+    /// double-counts).
     pub fn total(&self) -> Duration {
-        self.phases.values().map(|s| s.total).sum()
+        self.paths.values().map(|s| s.wall_self).sum()
+    }
+
+    /// The wall-clock folded-stacks dump: one `a;b;c <self µs>` line per
+    /// unique stack, in path order. Real timings — stderr/opt-in only.
+    pub fn folded_wall(&self) -> String {
+        self.render_folded(|s| s.wall_self.as_micros() as u64)
+    }
+
+    /// The deterministic folded-stacks dump: one `a;b;c <sim units>`
+    /// line per unique stack, in path order. Values derive only from
+    /// simulation state, so the dump is byte-identical across runs and
+    /// job counts.
+    pub fn folded_sim(&self) -> String {
+        self.render_folded(|s| s.sim_units)
+    }
+
+    fn render_folded(&self, value: impl Fn(&SpanStats) -> u64) -> String {
+        let mut out = String::new();
+        for (path, stats) in &self.paths {
+            let _ = writeln!(out, "{} {}", path.join(";"), value(stats));
+        }
+        out
     }
 
     /// Renders the overhead report: one line per phase plus the share of
-    /// `run_wall` (the whole run's wall time) spent inside controller
-    /// phases.
+    /// `run_wall` (the whole run's wall time) spent inside spans.
     pub fn report(&self, run_wall: Duration) -> String {
         let mut out = String::from("controller overhead report\n");
         let _ = writeln!(
@@ -104,7 +251,7 @@ impl SpanProfiler {
             "  {:<18} {:>8} {:>12} {:>12} {:>12}",
             "phase", "calls", "total", "mean", "max"
         );
-        for (name, stats) in &self.phases {
+        for (name, stats) in self.phases() {
             // `Duration / u32` is exact, but `calls` is a u64: a plain
             // `as u32` cast truncates, and calls >= 2^32 would truncate
             // to a divisor of 0 and panic. Past u32::MAX calls the mean
@@ -138,7 +285,7 @@ impl SpanProfiler {
         };
         let _ = writeln!(
             out,
-            "  controller total {} of {} run wall time ({share:.2}%)",
+            "  profiled total {} of {} run wall time ({share:.2}%)",
             format_duration(total),
             format_duration(run_wall)
         );
@@ -146,22 +293,51 @@ impl SpanProfiler {
     }
 }
 
-/// Times `f` under `phase` on an optional shared profiler. The borrow is
-/// taken only *after* `f` returns, so timed sections may nest freely.
+/// An RAII span: created by [`enter_span`], closes its span on drop.
+/// Guards created in one scope drop in reverse creation order, so the
+/// stack always unwinds in push order.
+#[derive(Debug)]
+pub struct SpanGuard {
+    profiler: SharedSpanProfiler,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.profiler.borrow_mut().exit();
+    }
+}
+
+/// Opens a span named `phase` on an optional shared profiler, returning
+/// a guard that closes it on drop. `None` profiler ⇒ `None` guard ⇒ no
+/// work at all. The borrow is released before the guard is returned, so
+/// spans nest freely.
+pub fn enter_span(profiler: &Option<SharedSpanProfiler>, phase: &'static str) -> Option<SpanGuard> {
+    profiler.as_ref().map(|p| {
+        p.borrow_mut().enter(phase);
+        SpanGuard {
+            profiler: Rc::clone(p),
+        }
+    })
+}
+
+/// Attributes `units` deterministic sim units to the innermost open span
+/// of an optional shared profiler. No-op when `None` or outside a span.
+pub fn span_units(profiler: &Option<SharedSpanProfiler>, units: u64) {
+    if let Some(p) = profiler {
+        p.borrow_mut().add_units(units);
+    }
+}
+
+/// Times `f` under a span named `phase` on an optional shared profiler.
+/// The profiler is only borrowed at entry and exit, never while `f`
+/// runs, so timed sections may nest freely.
 pub fn profile_span<R>(
     profiler: &Option<SharedSpanProfiler>,
     phase: &'static str,
     f: impl FnOnce() -> R,
 ) -> R {
-    match profiler {
-        Some(p) => {
-            let start = Instant::now();
-            let out = f();
-            p.borrow_mut().add(phase, start.elapsed());
-            out
-        }
-        None => f(),
-    }
+    let _guard = enter_span(profiler, phase);
+    f()
 }
 
 /// Human-readable duration with a stable width-friendly unit.
@@ -186,7 +362,7 @@ mod tests {
         p.add("collection", Duration::from_micros(10));
         p.add("collection", Duration::from_micros(30));
         p.add("outlier_detection", Duration::from_micros(5));
-        let stats: BTreeMap<&str, PhaseStats> = p.phases().map(|(n, s)| (n, *s)).collect();
+        let stats: BTreeMap<&str, PhaseStats> = p.phases().into_iter().collect();
         assert_eq!(stats["collection"].calls, 2);
         assert_eq!(stats["collection"].total, Duration::from_micros(40));
         assert_eq!(stats["collection"].max, Duration::from_micros(30));
@@ -199,21 +375,96 @@ mod tests {
         let mut p = SpanProfiler::new();
         let out = p.time("mrc_update", || 7);
         assert_eq!(out, 7);
-        assert_eq!(p.phases().count(), 1);
+        assert_eq!(p.phases().len(), 1);
     }
 
     #[test]
-    fn profile_span_nests_without_panicking() {
+    fn profile_span_nests_under_the_open_span() {
         let shared = SpanProfiler::shared();
         let opt = Some(shared.clone());
         let out = profile_span(&opt, "outer", || profile_span(&opt, "inner", || 3));
         assert_eq!(out, 3);
-        assert_eq!(shared.borrow().phases().count(), 2);
+        let p = shared.borrow();
+        let paths: Vec<Vec<&str>> = p.span_paths().map(|(path, _)| path.to_vec()).collect();
+        assert_eq!(paths, vec![vec!["outer"], vec!["outer", "inner"]]);
+        assert_eq!(p.depth(), 0, "both guards dropped");
     }
 
     #[test]
     fn profile_span_without_profiler_is_transparent() {
         assert_eq!(profile_span(&None, "x", || 11), 11);
+    }
+
+    #[test]
+    fn self_time_excludes_children_in_flat_report() {
+        // Regression (reentrancy): a phase nested under itself used to
+        // double-count its elapsed time in the flat report. With
+        // self-time accounting the phase total never exceeds the
+        // outermost invocation's elapsed time.
+        let shared = SpanProfiler::shared();
+        let opt = Some(shared.clone());
+        let start = Instant::now();
+        profile_span(&opt, "collection", || {
+            profile_span(&opt, "collection", || std::hint::black_box(fib(24)))
+        });
+        let outer_elapsed = start.elapsed();
+        let p = shared.borrow();
+        let stats: BTreeMap<&str, PhaseStats> = p.phases().into_iter().collect();
+        assert_eq!(stats["collection"].calls, 2);
+        assert!(
+            stats["collection"].total <= outer_elapsed,
+            "flat total {:?} must not exceed the outer elapsed {:?}",
+            stats["collection"].total,
+            outer_elapsed
+        );
+        // The same invariant in path form: self-times partition the
+        // outer span's inclusive time.
+        let paths: BTreeMap<Vec<&str>, SpanStats> = p
+            .span_paths()
+            .map(|(path, s)| (path.to_vec(), *s))
+            .collect();
+        let outer = paths[&vec!["collection"]];
+        let inner = paths[&vec!["collection", "collection"]];
+        assert_eq!(outer.wall_self + inner.wall_total, outer.wall_total);
+    }
+
+    #[test]
+    fn add_units_lands_on_the_innermost_span() {
+        let mut p = SpanProfiler::new();
+        p.add_units(99); // outside any span: dropped
+        p.enter("interval");
+        p.add_units(10);
+        p.enter("engine_execute");
+        p.add_units(5);
+        p.exit();
+        p.add_units(2);
+        p.exit();
+        let paths: BTreeMap<Vec<&str>, SpanStats> = p
+            .span_paths()
+            .map(|(path, s)| (path.to_vec(), *s))
+            .collect();
+        assert_eq!(paths[&vec!["interval"]].sim_units, 13); // 1 + 10 + 2
+        assert_eq!(paths[&vec!["interval", "engine_execute"]].sim_units, 6); // 1 + 5
+    }
+
+    #[test]
+    fn folded_dumps_are_path_sorted_with_self_values() {
+        let shared = SpanProfiler::shared();
+        let opt = Some(shared.clone());
+        profile_span(&opt, "b", || ());
+        profile_span(&opt, "a", || {
+            span_units(&opt, 4);
+            profile_span(&opt, "z", || span_units(&opt, 7));
+        });
+        let p = shared.borrow();
+        let sim = p.folded_sim();
+        assert_eq!(sim, "a 5\na;z 8\nb 1\n");
+        let wall = p.folded_wall();
+        let lines: Vec<&str> = wall.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("a;z "));
+        assert!(lines[2].starts_with("b "));
     }
 
     #[test]
@@ -239,7 +490,7 @@ mod tests {
             Duration::from_micros(10),
         );
         p.add("collection", Duration::from_micros(2));
-        let stats: BTreeMap<&str, PhaseStats> = p.phases().map(|(n, s)| (n, *s)).collect();
+        let stats: BTreeMap<&str, PhaseStats> = p.phases().into_iter().collect();
         assert_eq!(stats["collection"].calls, u64::from(u32::MAX) + 1);
         let report = p.report(Duration::from_secs(10_000));
         assert!(report.contains("collection"), "{report}");
@@ -255,7 +506,7 @@ mod tests {
         b.add("collection", Duration::from_micros(40));
         b.add("action_selection", Duration::from_micros(5));
         a.merge(&b);
-        let stats: BTreeMap<&str, PhaseStats> = a.phases().map(|(n, s)| (n, *s)).collect();
+        let stats: BTreeMap<&str, PhaseStats> = a.phases().into_iter().collect();
         assert_eq!(stats["collection"].calls, 2);
         assert_eq!(stats["collection"].total, Duration::from_micros(50));
         assert_eq!(stats["collection"].max, Duration::from_micros(40));
@@ -263,9 +514,32 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_by_stack_path() {
+        let mut a = SpanProfiler::new();
+        a.enter("suite");
+        a.time("fig3", || ());
+        a.exit();
+        let mut b = SpanProfiler::new();
+        b.enter("suite");
+        b.add_units(3);
+        b.time("fig4", || ());
+        b.exit();
+        a.merge(&b);
+        assert_eq!(a.folded_sim(), "suite 5\nsuite;fig3 1\nsuite;fig4 1\n");
+    }
+
+    #[test]
     fn report_handles_zero_wall_time() {
         let p = SpanProfiler::new();
         let report = p.report(Duration::ZERO);
         assert!(report.contains("0.00%"));
+    }
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
     }
 }

@@ -27,6 +27,7 @@ fn run_with_jobs(jobs: usize) -> Vec<FigureOutput> {
         trace_path: Some("parity-trace.jsonl".to_string()),
         metrics_dir: Some("parity-metrics".to_string()),
         capture_exposition: false,
+        profile: true,
     };
     let mut outputs = Vec::new();
     run_suite(&SELECTION, &cfg, |out| outputs.push(out));
@@ -68,6 +69,27 @@ fn four_workers_match_sequential_byte_for_byte() {
             assert_eq!(seq_bytes, par_bytes, "payload of {}", seq_path.display());
         }
     }
+
+    // The sim-unit folded profile dump — merged across figures exactly
+    // as the binary does — is also byte-identical, and valid.
+    let merge = |outputs: &[FigureOutput]| {
+        let mut merged = odlb_telemetry::SpanProfiler::new();
+        for out in outputs {
+            if let Some(profile) = &out.profile {
+                merged.merge(profile);
+            }
+        }
+        merged.folded_sim()
+    };
+    let seq_folded = merge(&sequential);
+    let par_folded = merge(&parallel);
+    assert_eq!(seq_folded, par_folded, "sim folded dump differs by jobs");
+    let stats = odlb_telemetry::validate_folded(&seq_folded).expect("valid folded dump");
+    assert!(
+        stats.max_depth >= 4,
+        "expected nested stacks, got depth {}",
+        stats.max_depth
+    );
 
     // The traced figure actually produced artifacts (the comparison
     // above must not pass vacuously).
