@@ -1,0 +1,111 @@
+//! Full-workspace static-analysis cost: wall time for `odlb-lint`'s
+//! complete pass over the live workspace, split into its four phases
+//! (lex → parse → graph → taint) via the span profiler. The CI promise
+//! that the analyzer is cheap enough to run on every push is pinned
+//! here: the full pass must finish well under five seconds.
+
+use odlb_bench::harness::{black_box, Bench};
+use odlb_lint::graph::FileUnit;
+use odlb_lint::taint::SANCTIONS;
+use odlb_lint::{analyze_sources, graph, lexer, parse, policy_for, taint, SourceFile};
+use odlb_telemetry::SpanProfiler;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn live_sources() -> Vec<SourceFile> {
+    let root = workspace_root();
+    let mut paths = Vec::new();
+    collect_rs(&root, &mut paths);
+    paths
+        .into_iter()
+        .filter_map(|p| {
+            let rel = p
+                .strip_prefix(&root)
+                .unwrap()
+                .to_string_lossy()
+                .replace('\\', "/");
+            policy_for(&rel)?;
+            let text = std::fs::read_to_string(&p).ok()?;
+            Some(SourceFile { rel, text })
+        })
+        .collect()
+}
+
+fn main() {
+    let mut bench = Bench::merged("experiments");
+    let files = live_sources();
+    let total_bytes: usize = files.iter().map(|f| f.text.len()).sum();
+
+    // Phase split: run the pipeline once, each stage under its own span.
+    let mut prof = SpanProfiler::new();
+    let start = Instant::now();
+    let lexed: Vec<_> = prof.time("lint/lex", || {
+        files.iter().map(|f| lexer::lex(&f.text)).collect()
+    });
+    let parsed: Vec<_> = prof.time("lint/parse", || {
+        lexed.iter().map(parse::parse_file).collect()
+    });
+    let units: Vec<FileUnit> = files
+        .iter()
+        .zip(lexed.into_iter().zip(parsed))
+        .map(|(f, (lexed, parsed))| FileUnit {
+            rel: f.rel.clone(),
+            lexed,
+            parsed,
+        })
+        .collect();
+    let call_graph = prof.time("lint/graph", || graph::build(&units));
+    let result = prof.time("lint/taint", || {
+        taint::analyze(&units, &call_graph, &SANCTIONS)
+    });
+    let full = start.elapsed();
+    assert!(
+        result.diagnostics.is_empty(),
+        "benchmark expects a taint-clean workspace: {:#?}",
+        result.diagnostics
+    );
+    assert!(
+        full.as_secs_f64() < 5.0,
+        "full analysis took {full:?}; the on-every-push CI gate is 5 s"
+    );
+
+    for (phase, stats) in prof.phases() {
+        bench.record_wall(phase, stats.total);
+    }
+    bench.record_wall("lint/full_workspace_wall", full);
+
+    // Steady-state cost of the public entry point over in-memory sources
+    // (what the CI job and the workspace-clean test actually pay).
+    bench.bench_elements(
+        "lint/analyze_sources/full_workspace",
+        total_bytes as u64,
+        || black_box(analyze_sources(black_box(&files)).len()),
+    );
+}

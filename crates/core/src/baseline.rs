@@ -17,7 +17,7 @@ use odlb_cluster::InstanceId;
 use odlb_cluster::{IntervalOutcome, Simulation};
 use odlb_metrics::{AppId, ClassId};
 use odlb_trace::Tracer;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tivoli-style: provision on CPU saturation, otherwise shrug.
 pub struct CpuOnlyController {
@@ -25,7 +25,7 @@ pub struct CpuOnlyController {
     pub cpu_saturation: f64,
     /// Intervals to wait between provisions per app.
     pub cooldown_intervals: u32,
-    cooldown: HashMap<AppId, u32>,
+    cooldown: BTreeMap<AppId, u32>,
     tracer: Tracer,
 }
 
@@ -35,7 +35,7 @@ impl CpuOnlyController {
         CpuOnlyController {
             cpu_saturation,
             cooldown_intervals,
-            cooldown: HashMap::new(),
+            cooldown: BTreeMap::new(),
             tracer: Tracer::new(),
         }
     }
@@ -84,7 +84,7 @@ impl ClusterController for CpuOnlyController {
 pub struct CoarseGrainedController {
     /// Intervals to wait between isolations per app.
     pub cooldown_intervals: u32,
-    cooldown: HashMap<AppId, u32>,
+    cooldown: BTreeMap<AppId, u32>,
     pending: Vec<(AppId, InstanceId)>,
     tracer: Tracer,
 }
@@ -94,7 +94,7 @@ impl CoarseGrainedController {
     pub fn new(cooldown_intervals: u32) -> Self {
         CoarseGrainedController {
             cooldown_intervals,
-            cooldown: HashMap::new(),
+            cooldown: BTreeMap::new(),
             pending: Vec::new(),
             tracer: Tracer::new(),
         }
@@ -155,7 +155,7 @@ pub struct VmMigrationController {
     pub downtime: odlb_sim::SimDuration,
     /// Intervals between migrations per app.
     pub cooldown_intervals: u32,
-    cooldown: HashMap<AppId, u32>,
+    cooldown: BTreeMap<AppId, u32>,
     tracer: Tracer,
 }
 
@@ -165,7 +165,7 @@ impl VmMigrationController {
         VmMigrationController {
             downtime,
             cooldown_intervals,
-            cooldown: HashMap::new(),
+            cooldown: BTreeMap::new(),
             tracer: Tracer::new(),
         }
     }

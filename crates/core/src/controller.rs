@@ -11,7 +11,7 @@ use odlb_metrics::{AppId, ClassId, MetricKind, StableStateStore};
 use odlb_outlier::{detect, top_k_heavyweight, Severity};
 use odlb_telemetry::{enter_span, profile_span, SharedSpanProfiler, Telemetry};
 use odlb_trace::{TraceEvent, Tracer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Anything that can steer the cluster between measurement intervals.
 pub trait ClusterController {
@@ -39,8 +39,8 @@ pub trait ClusterController {
 pub struct SelectiveRetuningController {
     config: ControllerConfig,
     stable: StableStateStore,
-    cooldown: HashMap<AppId, u32>,
-    streak: HashMap<AppId, u32>,
+    cooldown: BTreeMap<AppId, u32>,
+    streak: BTreeMap<AppId, u32>,
     /// Class placements waiting for a provisioned replica to warm up.
     pending_placements: Vec<(AppId, ClassId, InstanceId)>,
     /// Whole-app isolations waiting for their replica.
@@ -56,8 +56,8 @@ impl SelectiveRetuningController {
         SelectiveRetuningController {
             config,
             stable: StableStateStore::new(),
-            cooldown: HashMap::new(),
-            streak: HashMap::new(),
+            cooldown: BTreeMap::new(),
+            streak: BTreeMap::new(),
             pending_placements: Vec::new(),
             pending_isolations: Vec::new(),
             tracer: Tracer::new(),

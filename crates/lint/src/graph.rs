@@ -1,0 +1,485 @@
+//! The workspace call graph.
+//!
+//! Links the per-file item tables from [`crate::parse`] into one graph:
+//! every `fn` in every policy-covered file becomes a node, and every
+//! call expression becomes an edge to the node(s) it can refer to.
+//!
+//! Name resolution is best-effort and *over-approximating* — exactly the
+//! right bias for taint checking:
+//!
+//! - Same-crate paths resolve exactly (module-relative, then crate
+//!   root), with `crate::` / `self::` / `super::` normalised away.
+//! - Cross-crate paths resolve through `use` imports and the workspace's
+//!   `crates/<dir>` → `odlb_<dir>` naming convention; re-exports are
+//!   handled by suffix-matching the path inside the target crate.
+//! - Method calls (`.m(…)`) have no receiver type, so they link to
+//!   *every* workspace method named `m` — a deliberate union.
+//! - Calls that resolve to nothing in the workspace (std, primitives)
+//!   are recorded per node as unresolved, so the taint layer can stay
+//!   honest about what it did not see.
+//!
+//! Everything is ordered (BTreeMap, sorted edge lists) so downstream
+//! output is byte-identical across runs.
+
+use crate::lexer::Lexed;
+use crate::parse::{Callee, ParsedFile};
+use std::collections::BTreeMap;
+
+/// One analyzed source file: path, tokens and its parsed item table.
+pub struct FileUnit {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The lexed token stream (taint scans bodies through this).
+    pub lexed: Lexed,
+    /// The parsed item skeleton.
+    pub parsed: ParsedFile,
+}
+
+/// One function node in the workspace call graph.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Fully-qualified id, e.g. `odlb_trace::sink::fnv1a64`.
+    pub id: String,
+    /// Index of the defining [`FileUnit`].
+    pub file_idx: usize,
+    /// Index into that unit's `parsed.fns`.
+    pub fn_idx: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Resolved callees as node indices, sorted and deduplicated.
+    pub callees: Vec<usize>,
+    /// Callee names that resolved to nothing in the workspace, sorted
+    /// and deduplicated (std and primitive calls land here).
+    pub unresolved: Vec<String>,
+}
+
+/// The workspace call graph over a set of [`FileUnit`]s.
+pub struct CallGraph {
+    /// All nodes, ordered by (file, declaration order).
+    pub nodes: Vec<FnNode>,
+}
+
+/// Maps a workspace-relative path to `(crate id, module path)` following
+/// cargo's layout conventions. Binary targets get a `#bin` suffix so
+/// their items can never collide with the sibling library's.
+pub fn crate_and_module(rel: &str) -> Option<(String, Vec<String>)> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (krate, rest): (String, &[&str]) =
+        if parts.len() > 3 && parts[0] == "crates" && parts[2] == "src" {
+            (format!("odlb_{}", parts[1].replace('-', "_")), &parts[3..])
+        } else if parts.len() > 1 && parts[0] == "src" {
+            ("odlb".to_string(), &parts[1..])
+        } else {
+            return None;
+        };
+    let mut rest = rest.to_vec();
+    if rest.first() == Some(&"bin") {
+        let name = rest.get(1)?.trim_end_matches(".rs");
+        return Some((format!("{krate}#bin_{name}"), Vec::new()));
+    }
+    let last = rest.pop()?;
+    let mut module: Vec<String> = rest.iter().map(|s| (*s).to_string()).collect();
+    match last {
+        "lib.rs" | "mod.rs" => {}
+        "main.rs" => return Some((format!("{krate}#main"), module)),
+        f => module.push(f.trim_end_matches(".rs").to_string()),
+    }
+    Some((krate, module))
+}
+
+/// Strips the lexer's `r#` raw-identifier prefix for name matching.
+fn plain(seg: &str) -> &str {
+    seg.strip_prefix("r#").unwrap_or(seg)
+}
+
+struct Resolver<'a> {
+    units: &'a [FileUnit],
+    /// (crate, terminal segment) → candidate node indices.
+    by_terminal: BTreeMap<(String, String), Vec<usize>>,
+    /// Exact fully-qualified id → node indices (trait impls can share).
+    by_id: BTreeMap<String, Vec<usize>>,
+    /// Method name → node indices of all `impl`/`trait` fns with it.
+    methods: BTreeMap<String, Vec<usize>>,
+    /// Segments of each node: crate first, then modules/type/fn.
+    segs: Vec<Vec<String>>,
+    crates: Vec<String>,
+}
+
+/// Builds the call graph over `units`. Units whose path does not map to
+/// a crate (`crate_and_module` → `None`) contribute no nodes.
+pub fn build(units: &[FileUnit]) -> CallGraph {
+    let mut nodes = Vec::new();
+    let mut r = Resolver {
+        units,
+        by_terminal: BTreeMap::new(),
+        by_id: BTreeMap::new(),
+        methods: BTreeMap::new(),
+        segs: Vec::new(),
+        crates: Vec::new(),
+    };
+
+    // Pass 1: declare every fn as a node.
+    for (file_idx, u) in units.iter().enumerate() {
+        let Some((krate, module)) = crate_and_module(&u.rel) else {
+            continue;
+        };
+        if !r.crates.contains(&krate) {
+            r.crates.push(krate.clone());
+        }
+        for (fn_idx, f) in u.parsed.fns.iter().enumerate() {
+            let mut segs: Vec<String> = vec![krate.clone()];
+            segs.extend(module.iter().cloned());
+            segs.extend(f.path.iter().map(|s| plain(s).to_string()));
+            let id = segs.join("::");
+            let n = nodes.len();
+            nodes.push(FnNode {
+                id: id.clone(),
+                file_idx,
+                fn_idx,
+                line: f.line,
+                callees: Vec::new(),
+                unresolved: Vec::new(),
+            });
+            let terminal = segs.last().cloned().unwrap_or_default();
+            r.by_terminal
+                .entry((krate.clone(), terminal.clone()))
+                .or_default()
+                .push(n);
+            r.by_id.entry(id).or_default().push(n);
+            if f.is_method {
+                r.methods.entry(terminal).or_default().push(n);
+            }
+            r.segs.push(segs);
+        }
+    }
+
+    // Pass 2: resolve every call site.
+    let mut node_iter = 0usize;
+    for u in units {
+        let Some((krate, module)) = crate_and_module(&u.rel) else {
+            continue;
+        };
+        for f in &u.parsed.fns {
+            let node = node_iter;
+            node_iter += 1;
+            let mut callees = Vec::new();
+            let mut unresolved = Vec::new();
+            for call in &f.calls {
+                let found = match &call.callee {
+                    Callee::Method(name) => r.methods.get(plain(name)).cloned().unwrap_or_default(),
+                    Callee::Path(segs) => r.resolve_path(segs, &krate, &module, u),
+                };
+                if found.is_empty() {
+                    let name = match &call.callee {
+                        Callee::Method(m) => format!(".{m}"),
+                        Callee::Path(s) => s.join("::"),
+                    };
+                    unresolved.push(name);
+                } else {
+                    callees.extend(found);
+                }
+            }
+            callees.sort_unstable();
+            callees.dedup();
+            unresolved.sort();
+            unresolved.dedup();
+            nodes[node].callees = callees;
+            nodes[node].unresolved = unresolved;
+        }
+    }
+
+    CallGraph { nodes }
+}
+
+impl Resolver<'_> {
+    /// Resolves one path call written in crate `krate`, module `module`,
+    /// file `u`. Returns every node it can refer to (possibly empty).
+    fn resolve_path(
+        &self,
+        raw_segs: &[String],
+        krate: &str,
+        module: &[String],
+        u: &FileUnit,
+    ) -> Vec<usize> {
+        let mut segs: Vec<String> = raw_segs.iter().map(|s| plain(s).to_string()).collect();
+        if segs.is_empty() {
+            return Vec::new();
+        }
+
+        // `use` binding for the first segment (first match in source
+        // order; scopes are rare enough that file-level lookup is fine).
+        if let Some(b) = u.parsed.uses.iter().find(|b| plain(&b.name) == segs[0]) {
+            let mut full: Vec<String> = b.path.iter().map(|s| plain(s).to_string()).collect();
+            full.extend(segs.drain(1..));
+            segs = full;
+        }
+
+        // Normalise `crate` / `self` / `super` heads.
+        match segs[0].as_str() {
+            "crate" => {
+                segs[0] = krate.to_string();
+            }
+            "self" => {
+                let mut full = vec![krate.to_string()];
+                full.extend(module.iter().cloned());
+                full.extend(segs.drain(1..));
+                segs = full;
+            }
+            "super" => {
+                let mut full = vec![krate.to_string()];
+                let parent = module.len().saturating_sub(1);
+                full.extend(module.iter().take(parent).cloned());
+                full.extend(segs.drain(1..));
+                segs = full;
+            }
+            "std" | "core" | "alloc" => return Vec::new(),
+            _ => {}
+        }
+
+        // Crate-qualified: exact id, then suffix match inside that crate
+        // (covers re-exports like `odlb_trace::fnv1a64` for
+        // `odlb_trace::sink::fnv1a64`).
+        if self.crates.iter().any(|c| c == &segs[0]) {
+            if let Some(hit) = self.by_id.get(&segs.join("::")) {
+                return hit.clone();
+            }
+            return self.suffix_match(&segs[0], &segs[1..]);
+        }
+
+        // Unqualified: same module, then crate root.
+        let mut in_module: Vec<String> = vec![krate.to_string()];
+        in_module.extend(module.iter().cloned());
+        in_module.extend(segs.iter().cloned());
+        if let Some(hit) = self.by_id.get(&in_module.join("::")) {
+            return hit.clone();
+        }
+        let mut at_root: Vec<String> = vec![krate.to_string()];
+        at_root.extend(segs.iter().cloned());
+        if let Some(hit) = self.by_id.get(&at_root.join("::")) {
+            return hit.clone();
+        }
+        // Glob imports: `use base::*;` then `foo()`.
+        for (_, base) in &u.parsed.globs {
+            let mut p: Vec<String> = base.iter().map(|s| plain(s).to_string()).collect();
+            if p.first().map(String::as_str) == Some("crate") {
+                p[0] = krate.to_string();
+            }
+            p.extend(segs.iter().cloned());
+            if let Some(hit) = self.by_id.get(&p.join("::")) {
+                return hit.clone();
+            }
+        }
+        // Multi-segment leftovers (`Type::method` with a local or
+        // use-resolved type): suffix match within this crate only —
+        // single segments stay exact to keep `new()`-style calls from
+        // fanning out to every constructor.
+        if segs.len() >= 2 {
+            let hits = self.suffix_match(krate, &segs);
+            if !hits.is_empty() {
+                return hits;
+            }
+            // A type imported from another crate resolves its methods
+            // there (the import bound the *type*; calls append the fn).
+            if let Some(b) = self
+                .units
+                .get(self.unit_idx(u))
+                .and_then(|u| u.parsed.uses.iter().find(|b| plain(&b.name) == segs[0]))
+            {
+                if let Some(target) = b.path.first() {
+                    if self.crates.iter().any(|c| c == plain(target)) {
+                        return self.suffix_match(plain(target), &segs);
+                    }
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn unit_idx(&self, u: &FileUnit) -> usize {
+        self.units
+            .iter()
+            .position(|x| std::ptr::eq(x, u))
+            .unwrap_or(0)
+    }
+
+    /// Nodes in `krate` whose path ends with `suffix`.
+    fn suffix_match(&self, krate: &str, suffix: &[String]) -> Vec<usize> {
+        let Some(term) = suffix.last() else {
+            return Vec::new();
+        };
+        let Some(cands) = self.by_terminal.get(&(krate.to_string(), term.clone())) else {
+            return Vec::new();
+        };
+        cands
+            .iter()
+            .copied()
+            .filter(|&n| {
+                let s = &self.segs[n];
+                s.len() >= suffix.len() && s[s.len() - suffix.len()..] == *suffix
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+
+    fn unit(rel: &str, src: &str) -> FileUnit {
+        let lexed = lex(src);
+        let parsed = parse_file(&lexed);
+        FileUnit {
+            rel: rel.to_string(),
+            lexed,
+            parsed,
+        }
+    }
+
+    fn edges(g: &CallGraph) -> Vec<(String, Vec<String>)> {
+        g.nodes
+            .iter()
+            .map(|n| {
+                (
+                    n.id.clone(),
+                    n.callees.iter().map(|&c| g.nodes[c].id.clone()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crate_and_module_mapping() {
+        assert_eq!(
+            crate_and_module("crates/trace/src/lib.rs"),
+            Some(("odlb_trace".into(), vec![]))
+        );
+        assert_eq!(
+            crate_and_module("crates/trace/src/sink.rs"),
+            Some(("odlb_trace".into(), vec!["sink".into()]))
+        );
+        assert_eq!(
+            crate_and_module("crates/sim/src/a/mod.rs"),
+            Some(("odlb_sim".into(), vec!["a".into()]))
+        );
+        assert_eq!(
+            crate_and_module("crates/sim/src/a/b.rs"),
+            Some(("odlb_sim".into(), vec!["a".into(), "b".into()]))
+        );
+        assert_eq!(
+            crate_and_module("crates/bench/src/bin/experiments.rs"),
+            Some(("odlb_bench#bin_experiments".into(), vec![]))
+        );
+        assert_eq!(
+            crate_and_module("crates/lint/src/main.rs"),
+            Some(("odlb_lint#main".into(), vec![]))
+        );
+        assert_eq!(crate_and_module("crates/lint/Cargo.toml"), None);
+    }
+
+    #[test]
+    fn same_crate_resolution_module_and_root() {
+        let g = build(&[
+            unit(
+                "crates/a/src/lib.rs",
+                "pub fn root() {}\npub fn caller() { root(); m::in_mod(); }\nmod m { pub fn in_mod() { super::root(); } }",
+            ),
+        ]);
+        let e = edges(&g);
+        let caller = e.iter().find(|(id, _)| id == "odlb_a::caller").unwrap();
+        assert_eq!(
+            caller.1,
+            vec!["odlb_a::root".to_string(), "odlb_a::m::in_mod".to_string()]
+        );
+        let in_mod = e.iter().find(|(id, _)| id == "odlb_a::m::in_mod").unwrap();
+        assert_eq!(in_mod.1, vec!["odlb_a::root".to_string()]);
+    }
+
+    #[test]
+    fn cross_crate_via_use_and_reexport_suffix() {
+        let g = build(&[
+            unit(
+                "crates/trace/src/sink.rs",
+                "pub fn fnv1a64(x: &[u8]) -> u64 { 0 }",
+            ),
+            unit(
+                "crates/b/src/lib.rs",
+                "use odlb_trace::fnv1a64;\npub fn h() -> u64 { fnv1a64(b\"x\") }\npub fn q() -> u64 { odlb_trace::sink::fnv1a64(b\"y\") }",
+            ),
+        ]);
+        let e = edges(&g);
+        for id in ["odlb_b::h", "odlb_b::q"] {
+            let n = e.iter().find(|(i, _)| i == id).unwrap();
+            assert_eq!(n.1, vec!["odlb_trace::sink::fnv1a64".to_string()], "{id}");
+        }
+    }
+
+    #[test]
+    fn method_calls_union_all_candidates() {
+        let g = build(&[
+            unit(
+                "crates/a/src/lib.rs",
+                "pub struct A; impl A { pub fn emit(&self) {} }",
+            ),
+            unit(
+                "crates/b/src/lib.rs",
+                "pub struct B; impl B { pub fn emit(&self) {} }",
+            ),
+            unit("crates/c/src/lib.rs", "pub fn go(x: &X) { x.emit(); }"),
+        ]);
+        let e = edges(&g);
+        let go = e.iter().find(|(id, _)| id == "odlb_c::go").unwrap();
+        assert_eq!(
+            go.1,
+            vec!["odlb_a::A::emit".to_string(), "odlb_b::B::emit".to_string()]
+        );
+    }
+
+    #[test]
+    fn type_method_path_resolves_through_import() {
+        let g = build(&[
+            unit(
+                "crates/trace/src/lib.rs",
+                "pub struct Tracer; impl Tracer { pub fn with_digest() -> Self { Tracer } }",
+            ),
+            unit(
+                "crates/b/src/lib.rs",
+                "use odlb_trace::Tracer;\npub fn mk() { let t = Tracer::with_digest(); }",
+            ),
+        ]);
+        let e = edges(&g);
+        let mk = e.iter().find(|(id, _)| id == "odlb_b::mk").unwrap();
+        assert_eq!(mk.1, vec!["odlb_trace::Tracer::with_digest".to_string()]);
+    }
+
+    #[test]
+    fn std_and_unknown_calls_are_recorded_unresolved() {
+        let g = build(&[unit(
+            "crates/a/src/lib.rs",
+            "pub fn f() { std::mem::drop(1); String::from(\"x\"); local(); }",
+        )]);
+        assert!(g.nodes[0].callees.is_empty());
+        assert_eq!(
+            g.nodes[0].unresolved,
+            vec![
+                "String::from".to_string(),
+                "local".to_string(),
+                "std::mem::drop".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let units = || {
+            vec![
+                unit("crates/a/src/lib.rs", "pub fn a() { b::bb(); }"),
+                unit("crates/a/src/b.rs", "pub fn bb() { crate::a(); }"),
+            ]
+        };
+        let g1 = edges(&build(&units()));
+        let g2 = edges(&build(&units()));
+        assert_eq!(g1, g2);
+    }
+}

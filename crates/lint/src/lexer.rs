@@ -154,6 +154,15 @@ impl Lexer {
                             let text = self.char_body();
                             self.push(TokKind::Char, text, line);
                         }
+                        // Raw identifier `r#name` (raw_string_follows
+                        // ruled out `r#"…"#` above). One token, prefix
+                        // kept, so `r#fn` never injects a phantom `fn`
+                        // keyword into the stream.
+                        ("r", Some('#')) => {
+                            self.bump();
+                            let name = self.ident();
+                            self.push(TokKind::Ident, format!("r#{name}"), line);
+                        }
                         _ => self.push(TokKind::Ident, ident, line),
                     }
                 }
@@ -478,6 +487,39 @@ mod tests {
         let lexed = lex("// odlb-lint: allot(D01) whoops");
         assert_eq!(lexed.pragmas.len(), 1);
         assert!(!lexed.pragmas[0].well_formed);
+    }
+
+    #[test]
+    fn raw_identifiers_stay_one_token() {
+        // `r#for` must not desync into `r`, `#`, `for` — a phantom `for`
+        // would look like a loop head to the hash-iteration rule.
+        let toks = lex("let r#for = map.iter(); r#type::go(); r#\"still raw\"# tail").tokens;
+        let texts: Vec<(TokKind, String)> = toks.iter().map(|t| (t.kind, t.text.clone())).collect();
+        assert!(texts.contains(&(TokKind::Ident, "r#for".to_string())));
+        assert!(texts.contains(&(TokKind::Ident, "r#type".to_string())));
+        assert!(!toks.iter().any(|t| t.is_ident("for")));
+        assert!(!toks.iter().any(|t| t.is_ident("type")));
+        assert!(!toks.iter().any(|t| t.is_punct('#')));
+        // the raw-string arm still wins when a literal really follows
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "still raw"));
+        assert!(toks.last().unwrap().is_ident("tail"));
+    }
+
+    #[test]
+    fn byte_char_escapes_do_not_desync() {
+        // `b'\xNN'` and `b'\''` must consume through their closing quote;
+        // a desync here would misclassify everything after as char/str.
+        let toks = lex(r"b'\x4E' b'\'' b'\\' Instant").tokens;
+        let chars: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec![r"\x4E", r"\'", r"\\"]);
+        assert!(toks.last().unwrap().is_ident("Instant"));
+        assert_eq!(toks.last().unwrap().kind, TokKind::Ident);
     }
 
     #[test]

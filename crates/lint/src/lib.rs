@@ -7,17 +7,40 @@
 //! gate (see [`manifest`]), and is wired into both CI and
 //! `cargo test -q` so every future change is checked.
 //!
+//! On top of the token rules sits a three-layer syntactic analysis:
+//! [`parse`] extracts each file's item skeleton, [`graph`] links the
+//! skeletons into a workspace call graph, and [`taint`] propagates
+//! nondeterminism from sources to export sinks over that graph (rules
+//! T01–T03), reporting full source→…→sink chains.
+//!
 //! Entry points: [`run_workspace`] walks a workspace root and returns
-//! every diagnostic; the `odlb-lint` binary prints them as
-//! `file:line: rule: message` and exits nonzero if any exist.
+//! every diagnostic; [`analyze_sources`] does the same over in-memory
+//! sources (the mutation tests use this); the `odlb-lint` binary prints
+//! findings as `file:line: rule: message` (or `--format=json`) and
+//! exits nonzero if any exist.
 
+pub mod graph;
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
 pub mod rules;
+pub mod taint;
 
-pub use rules::{Diagnostic, Policy};
+pub use rules::{ChainStep, Diagnostic, Policy};
 
+use graph::FileUnit;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+
+/// One in-memory source file handed to [`analyze_sources`].
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (drives both
+    /// [`policy_for`] and the call graph's crate mapping).
+    pub rel: String,
+    /// The file's full text.
+    pub text: String,
+}
 
 /// Decides which rule families apply to the workspace-relative path
 /// `rel` (always `/`-separated). Returns `None` for files the lint pass
@@ -123,40 +146,139 @@ fn relative(root: &Path, path: &Path) -> String {
 /// files become diagnostics too — a file the linter cannot read is a
 /// file the linter cannot vouch for.
 pub fn run_workspace(root: &Path) -> Vec<Diagnostic> {
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     collect_files(
         root,
         &|p| {
             p.extension().is_some_and(|e| e == "rs")
                 || p.file_name().is_some_and(|n| n == "Cargo.toml")
         },
-        &mut files,
+        &mut paths,
     );
 
     let mut out = Vec::new();
-    for path in files {
+    let mut files = Vec::new();
+    for path in paths {
         let rel = relative(root, &path);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                out.push(Diagnostic {
-                    file: rel,
-                    line: 0,
-                    rule: "S00",
-                    message: format!("cannot read: {e}"),
-                });
-                continue;
-            }
-        };
-        if rel.ends_with("Cargo.toml") {
-            out.extend(manifest::check_manifest(&rel, &text));
-        } else if let Some(policy) = policy_for(&rel) {
-            let lexed = lexer::lex(&text);
-            out.extend(rules::check_file(&rel, &lexed, policy));
+        match std::fs::read_to_string(&path) {
+            Ok(text) => files.push(SourceFile { rel, text }),
+            Err(e) => out.push(Diagnostic {
+                file: rel,
+                line: 0,
+                rule: "S00",
+                message: format!("cannot read: {e}"),
+                chain: Vec::new(),
+            }),
         }
+    }
+    out.extend(analyze_sources(&files));
+    out.sort();
+    out
+}
+
+/// Runs the full pass — manifest gate, token rules, and the
+/// parse → call-graph → taint pipeline — over in-memory sources.
+pub fn analyze_sources(files: &[SourceFile]) -> Vec<Diagnostic> {
+    analyze_sources_with(files, &taint::SANCTIONS)
+}
+
+/// [`analyze_sources`] with an explicit sanction table; the policy tests
+/// use this to prove every default sanction is load-bearing.
+pub fn analyze_sources_with(
+    files: &[SourceFile],
+    sanctions: &[taint::Sanction],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Lex + token rules per file; keep raw (pre-pragma) findings so the
+    // taint findings can join them under one pragma pass.
+    let mut units: Vec<FileUnit> = Vec::new();
+    let mut raw_by_file: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for f in files {
+        if f.rel.ends_with("Cargo.toml") {
+            out.extend(manifest::check_manifest(&f.rel, &f.text));
+            continue;
+        }
+        let Some(policy) = policy_for(&f.rel) else {
+            continue;
+        };
+        let lexed = lexer::lex(&f.text);
+        raw_by_file
+            .entry(f.rel.clone())
+            .or_default()
+            .extend(rules::token_rules(&f.rel, &lexed, policy));
+        let parsed = parse::parse_file(&lexed);
+        units.push(FileUnit {
+            rel: f.rel.clone(),
+            lexed,
+            parsed,
+        });
+    }
+
+    let call_graph = graph::build(&units);
+    let taint::TaintResult {
+        diagnostics: taint_diags,
+        used_pragmas,
+    } = taint::analyze(&units, &call_graph, sanctions);
+    for d in taint_diags {
+        raw_by_file.entry(d.file.clone()).or_default().push(d);
+    }
+
+    let empty = BTreeSet::new();
+    for u in &units {
+        let raw = raw_by_file.remove(&u.rel).unwrap_or_default();
+        let extra = used_pragmas.get(&u.rel).unwrap_or(&empty);
+        out.extend(rules::apply_pragmas(&u.rel, &u.lexed, raw, extra));
     }
     out.sort();
     out
+}
+
+/// Renders diagnostics as a JSON array with a stable field order
+/// (`file`, `line`, `rule`, `message`, `chain`), one object per finding,
+/// byte-identical across runs. Hand-rolled on purpose: the linter is
+/// zero-dependency.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str, out: &mut String) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+    }
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n  {\"file\":\"");
+        esc(&d.file, &mut s);
+        s.push_str(&format!(
+            "\",\"line\":{},\"rule\":\"{}\",\"message\":\"",
+            d.line, d.rule
+        ));
+        esc(&d.message, &mut s);
+        s.push_str("\",\"chain\":[");
+        for (j, step) in d.chain.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"file\":\"");
+            esc(&step.file, &mut s);
+            s.push_str(&format!("\",\"line\":{},\"label\":\"", step.line));
+            esc(&step.label, &mut s);
+            s.push_str("\"}");
+        }
+        s.push_str("]}");
+    }
+    s.push_str("\n]\n");
+    s
 }
 
 /// Finds the workspace root by walking up from `start` until a directory

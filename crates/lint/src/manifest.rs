@@ -46,6 +46,7 @@ pub fn check_manifest(file: &str, text: &str) -> Vec<Diagnostic> {
                         "dependency table `[{name}]` has no `path` or `workspace = true`; \
                          external dependencies are forbidden (offline tier-1)"
                     ),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -109,6 +110,7 @@ pub fn check_manifest(file: &str, text: &str) -> Vec<Diagnostic> {
                     "`{key}` in [{section}] is not a path/workspace dependency; external \
                      dependencies are forbidden (offline tier-1)"
                 ),
+                chain: Vec::new(),
             });
         }
     }

@@ -1,0 +1,771 @@
+//! A lightweight recursive-descent *item* parser over the lexer's token
+//! stream.
+//!
+//! The token rules (D01–D05) see one line at a time; the taint engine
+//! (see [`crate::taint`]) needs to know *which function* a token lives
+//! in and *which functions that function calls*. This parser extracts
+//! exactly that skeleton: module blocks, `impl`/`trait` blocks, `fn`
+//! items with their body token ranges, every call expression inside a
+//! body, and `use` imports for cross-crate name resolution. It is not a
+//! Rust parser — expressions, types and generics are skipped with
+//! bracket balancing — but it is exact about the things the call graph
+//! needs: nesting, body extents and call-site lines.
+//!
+//! `#[cfg(test)]` items are skipped entirely: unit tests may use wall
+//! clocks and hash iteration freely, so their calls must not show up as
+//! taint edges.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// The callee of one call expression, as written at the call site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Callee {
+    /// `a::b::c(…)` or bare `f(…)` — path segments as written (after
+    /// `Self` substitution inside `impl` blocks).
+    Path(Vec<String>),
+    /// `.m(…)` — method call; the receiver's type is unknown.
+    Method(String),
+}
+
+/// One call expression inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// What is being called.
+    pub callee: Callee,
+}
+
+/// One `fn` item with a body.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Path within the file: enclosing module blocks, then the
+    /// `impl`/`trait` type name (if any), then the function name.
+    pub path: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, inclusive of both braces.
+    pub body: (usize, usize),
+    /// Every call expression found in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// True when defined inside an `impl` or `trait` block (callable via
+    /// `.name(…)` method syntax).
+    pub is_method: bool,
+}
+
+/// One name bound by a `use` declaration.
+#[derive(Clone, Debug)]
+pub struct UseImport {
+    /// The local name the import binds (the alias after `as`, or the
+    /// path's last segment).
+    pub name: String,
+    /// The full path as written, e.g. `["odlb_trace", "sink", "fnv1a64"]`.
+    pub path: Vec<String>,
+    /// Module-block path the `use` appears under within this file.
+    pub scope: Vec<String>,
+}
+
+/// Everything the parser extracts from one file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// All `fn` items with bodies, in source order.
+    pub fns: Vec<FnItem>,
+    /// All `use` bindings.
+    pub uses: Vec<UseImport>,
+    /// Glob imports: (module scope, base path of `use base::*`).
+    pub globs: Vec<(Vec<String>, Vec<String>)>,
+}
+
+/// Keywords that must never be read as the head of a call expression
+/// (`if (…)`, `return (…)`, …) or as a path segment.
+const EXPR_KEYWORDS: [&str; 22] = [
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "in", "as",
+    "let", "move", "ref", "mut", "box", "await", "dyn", "where", "unsafe", "async", "yield",
+];
+
+/// Parses one lexed file into its item skeleton.
+pub fn parse_file(lexed: &Lexed) -> ParsedFile {
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        i: 0,
+        out: ParsedFile::default(),
+    };
+    let mut scope = Vec::new();
+    p.items(&mut scope, None);
+    p.out
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+    out: ParsedFile,
+}
+
+impl Parser<'_> {
+    fn tok(&self, at: usize) -> Option<&Token> {
+        self.toks.get(at)
+    }
+
+    fn is(&self, at: usize, c: char) -> bool {
+        self.tok(at).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn ident_at(&self, at: usize) -> Option<&str> {
+        match self.tok(at) {
+            Some(t) if t.kind == TokKind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    /// Skips a balanced `(…)`, `[…]` or `{…}` group whose opener is at
+    /// `self.i`; leaves `self.i` just past the closer.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0i32;
+        while let Some(t) = self.tok(self.i) {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Skips a balanced generic argument list `<…>` whose `<` is at
+    /// `self.i`. A `>` directly preceded by `-` is an arrow (`->`)
+    /// inside `Fn(…) -> T` bounds, not a closer.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        while let Some(t) = self.tok(self.i) {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !prev_dash {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            prev_dash = t.is_punct('-');
+            self.i += 1;
+        }
+    }
+
+    /// Parses items until the matching `}` of an already-consumed `{`
+    /// (or EOF at the top level). `in_type` carries the `impl`/`trait`
+    /// type name so nested `fn`s become methods.
+    fn items(&mut self, scope: &mut Vec<String>, in_type: Option<&str>) {
+        while let Some(t) = self.tok(self.i) {
+            // Attributes: skip, remembering a `#[cfg(test)]`.
+            if t.is_punct('#') && (self.is(self.i + 1, '[') || self.is(self.i + 2, '[')) {
+                let mut saw_cfg_test = false;
+                while self.is(self.i, '#') || (self.is(self.i, '#') && self.is(self.i + 1, '!')) {
+                    self.i += 1; // '#'
+                    if self.is(self.i, '!') {
+                        self.i += 1;
+                    }
+                    if !self.is(self.i, '[') {
+                        break;
+                    }
+                    let start = self.i;
+                    self.skip_balanced('[', ']');
+                    saw_cfg_test |= self.attr_is_cfg_test(start, self.i);
+                }
+                if saw_cfg_test {
+                    self.skip_item();
+                }
+                continue;
+            }
+            if t.is_punct('}') {
+                self.i += 1;
+                return;
+            }
+            if t.kind != TokKind::Ident {
+                self.i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "pub" => {
+                    self.i += 1;
+                    if self.is(self.i, '(') {
+                        self.skip_balanced('(', ')');
+                    }
+                }
+                // Modifiers that may precede `fn`.
+                "unsafe" | "async" | "default" => self.i += 1,
+                "const" => {
+                    // `const fn f` is a function; `const NAME: T = …;` an item.
+                    if self.ident_at(self.i + 1) == Some("fn") {
+                        self.i += 1;
+                    } else {
+                        self.skip_to_semi();
+                    }
+                }
+                "extern" => {
+                    // `extern "C" fn`, `extern crate x;`, `extern { … }`.
+                    self.i += 1;
+                    if self.tok(self.i).is_some_and(|t| t.kind == TokKind::Str) {
+                        self.i += 1;
+                    }
+                    if self.is(self.i, '{') {
+                        self.skip_balanced('{', '}');
+                    } else if self.ident_at(self.i) == Some("crate") {
+                        self.skip_to_semi();
+                    }
+                }
+                "mod" => {
+                    self.i += 1;
+                    let name = self.ident_at(self.i).map(str::to_string);
+                    self.i += 1;
+                    if self.is(self.i, '{') {
+                        self.i += 1;
+                        scope.push(name.unwrap_or_default());
+                        self.items(scope, None);
+                        scope.pop();
+                    } else {
+                        // `mod x;` — the file-path mapping covers it.
+                        self.skip_to_semi();
+                    }
+                }
+                "impl" => self.impl_or_trait_block(scope, true),
+                "trait" => self.impl_or_trait_block(scope, false),
+                "fn" => self.fn_item(scope, in_type),
+                "use" => self.use_decl(scope),
+                "struct" | "enum" | "union" => {
+                    self.i += 1;
+                    // name, generics, then `{…}` / `(…);` / `;`.
+                    while let Some(t) = self.tok(self.i) {
+                        if t.is_punct('<') {
+                            self.skip_angles();
+                        } else if t.is_punct('{') {
+                            self.skip_balanced('{', '}');
+                            break;
+                        } else if t.is_punct('(') {
+                            self.skip_balanced('(', ')');
+                        } else if t.is_punct(';') {
+                            self.i += 1;
+                            break;
+                        } else {
+                            self.i += 1;
+                        }
+                    }
+                }
+                "static" | "type" => self.skip_to_semi(),
+                "macro_rules" => {
+                    // `macro_rules! name { … }`
+                    self.i += 1;
+                    while self.i < self.toks.len() && !self.is(self.i, '{') {
+                        self.i += 1;
+                    }
+                    self.skip_balanced('{', '}');
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// True when the attribute group `[start..end)` is `[cfg(test)]` or
+    /// `[cfg(test, …)]` / `[cfg(any(test, …))]`.
+    fn attr_is_cfg_test(&self, start: usize, end: usize) -> bool {
+        let mut saw_cfg = false;
+        for k in start..end {
+            if let Some(t) = self.tok(k) {
+                if t.is_ident("cfg") {
+                    saw_cfg = true;
+                }
+                if saw_cfg && t.is_ident("test") {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Skips one whole item: either to the first `;` before any brace,
+    /// or past the matching close of the first `{`.
+    fn skip_item(&mut self) {
+        while let Some(t) = self.tok(self.i) {
+            if t.is_punct(';') {
+                self.i += 1;
+                return;
+            }
+            if t.is_punct('{') {
+                self.skip_balanced('{', '}');
+                return;
+            }
+            if t.is_punct('(') {
+                self.skip_balanced('(', ')');
+                continue;
+            }
+            if t.is_punct('<') {
+                self.skip_angles();
+                continue;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn skip_to_semi(&mut self) {
+        while let Some(t) = self.tok(self.i) {
+            if t.is_punct(';') {
+                self.i += 1;
+                return;
+            }
+            if t.is_punct('{') {
+                self.skip_balanced('{', '}');
+                continue;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Parses an `impl`/`trait` header, pushes the type (or trait) name
+    /// onto `scope` and parses the block's items as methods.
+    fn impl_or_trait_block(&mut self, scope: &mut Vec<String>, is_impl: bool) {
+        self.i += 1; // `impl` / `trait`
+        if self.is(self.i, '<') {
+            self.skip_angles();
+        }
+        // Read path segments until `for`, `where` or `{`; on `for`,
+        // restart — the implementing type is what counts.
+        let mut last_path: Vec<String> = Vec::new();
+        loop {
+            match self.tok(self.i) {
+                Some(t) if t.is_ident("for") && is_impl => {
+                    last_path.clear();
+                    self.i += 1;
+                }
+                Some(t) if t.is_ident("where") || t.is_punct('{') => break,
+                Some(t) if t.kind == TokKind::Ident => {
+                    last_path.push(t.text.clone());
+                    self.i += 1;
+                }
+                Some(t) if t.is_punct('<') => self.skip_angles(),
+                Some(t) if t.is_punct('&') || t.is_punct(':') || t.kind == TokKind::Lifetime => {
+                    self.i += 1;
+                }
+                Some(_) => self.i += 1,
+                None => return,
+            }
+        }
+        // Skip a `where` clause to the opening brace.
+        while self.i < self.toks.len() && !self.is(self.i, '{') {
+            if self.is(self.i, '<') {
+                self.skip_angles();
+            } else {
+                self.i += 1;
+            }
+        }
+        if !self.is(self.i, '{') {
+            return;
+        }
+        self.i += 1;
+        let ty = last_path.last().cloned().unwrap_or_default();
+        scope.push(ty.clone());
+        self.items_in_type(scope, &ty);
+        scope.pop();
+    }
+
+    /// Like [`Parser::items`] but with the enclosing type name set, so
+    /// `fn`s are recorded as methods.
+    fn items_in_type(&mut self, scope: &mut Vec<String>, ty: &str) {
+        let owned = ty.to_string();
+        self.items(scope, Some(&owned));
+    }
+
+    /// Parses `fn name …(…) … { body }` and records the item.
+    fn fn_item(&mut self, scope: &[String], in_type: Option<&str>) {
+        let line = self.tok(self.i).map_or(0, |t| t.line);
+        self.i += 1; // `fn`
+        let Some(name) = self.ident_at(self.i).map(str::to_string) else {
+            return;
+        };
+        self.i += 1;
+        if self.is(self.i, '<') {
+            self.skip_angles();
+        }
+        if self.is(self.i, '(') {
+            self.skip_balanced('(', ')');
+        }
+        // Return type / where clause up to body or `;`.
+        loop {
+            match self.tok(self.i) {
+                Some(t) if t.is_punct('{') => break,
+                Some(t) if t.is_punct(';') => {
+                    self.i += 1;
+                    return; // declaration without a body
+                }
+                Some(t) if t.is_punct('<') => self.skip_angles(),
+                Some(t) if t.is_punct('(') => self.skip_balanced('(', ')'),
+                Some(t) if t.is_punct('[') => self.skip_balanced('[', ']'),
+                Some(_) => self.i += 1,
+                None => return,
+            }
+        }
+        let body_start = self.i;
+        self.skip_balanced('{', '}');
+        let body_end = self.i.saturating_sub(1);
+
+        let mut path: Vec<String> = scope.to_vec();
+        path.push(name);
+        let calls = self.scan_calls(body_start, body_end, in_type);
+        self.out.fns.push(FnItem {
+            path,
+            line,
+            body: (body_start, body_end),
+            calls,
+            is_method: in_type.is_some(),
+        });
+    }
+
+    /// Collects every call expression in the token range `(start, end)`.
+    /// The scan is flat: closures, nested blocks and macro arguments are
+    /// all attributed to this function, which is the conservative choice
+    /// for taint.
+    fn scan_calls(&self, start: usize, end: usize, in_type: Option<&str>) -> Vec<CallSite> {
+        let mut calls = Vec::new();
+        let mut k = start + 1;
+        while k < end {
+            let t = &self.toks[k];
+            // `.method(` / `.method::<T>(`
+            if t.is_punct('.') {
+                if let Some(name) = self.ident_at(k + 1) {
+                    let mut j = k + 2;
+                    if self.is(j, ':') && self.is(j + 1, ':') && self.is(j + 2, '<') {
+                        j = self.angles_end(j + 2);
+                    }
+                    if self.is(j, '(') {
+                        calls.push(CallSite {
+                            line: self.toks[k + 1].line,
+                            callee: Callee::Method(name.to_string()),
+                        });
+                    }
+                    k += 2;
+                    continue;
+                }
+                k += 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                // Item declarations nested in the body are not calls.
+                if matches!(t.text.as_str(), "fn" | "struct" | "enum" | "union") {
+                    k += 2;
+                    continue;
+                }
+                // Macro invocation: skip the name and bang; the macro's
+                // arguments are scanned by the same flat walk.
+                if self.is(k + 1, '!') {
+                    k += 2;
+                    continue;
+                }
+                if EXPR_KEYWORDS.contains(&t.text.as_str()) {
+                    k += 1;
+                    continue;
+                }
+                // Path: `a::b::c` with optional turbofish before `(`.
+                let line = t.line;
+                let mut segs = vec![t.text.clone()];
+                let mut j = k + 1;
+                while self.is(j, ':') && self.is(j + 1, ':') {
+                    if let Some(seg) = self.ident_at(j + 2) {
+                        segs.push(seg.to_string());
+                        j += 3;
+                    } else if self.is(j + 2, '<') {
+                        j = self.angles_end(j + 2);
+                    } else {
+                        break;
+                    }
+                }
+                if self.is(j, '(') {
+                    if segs[0] == "Self" {
+                        if let Some(ty) = in_type {
+                            segs[0] = ty.to_string();
+                        }
+                    }
+                    calls.push(CallSite {
+                        line,
+                        callee: Callee::Path(segs),
+                    });
+                }
+                k = j.max(k + 1);
+                continue;
+            }
+            k += 1;
+        }
+        calls
+    }
+
+    /// Index just past the `>` matching the `<` at `open`.
+    fn angles_end(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        let mut prev_dash = false;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !prev_dash {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            prev_dash = t.is_punct('-');
+            j += 1;
+        }
+        j
+    }
+
+    /// Parses `use path::{a, b as c, d::*};` into bindings.
+    fn use_decl(&mut self, scope: &[String]) {
+        self.i += 1; // `use`
+        if self.is(self.i, ':') && self.is(self.i + 1, ':') {
+            self.i += 2; // leading `::` (2015 absolute path)
+        }
+        let mut prefix = Vec::new();
+        self.use_tree(&mut prefix, scope);
+        self.skip_to_semi();
+    }
+
+    fn use_tree(&mut self, prefix: &mut Vec<String>, scope: &[String]) {
+        loop {
+            if self.is(self.i, '{') {
+                self.i += 1;
+                loop {
+                    if self.is(self.i, '}') {
+                        self.i += 1;
+                        return;
+                    }
+                    if self.is(self.i, ',') {
+                        self.i += 1;
+                        continue;
+                    }
+                    if self.tok(self.i).is_none() || self.is(self.i, ';') {
+                        return;
+                    }
+                    let mut sub = prefix.clone();
+                    self.use_tree(&mut sub, scope);
+                }
+            }
+            if self.is(self.i, '*') {
+                self.i += 1;
+                self.out.globs.push((scope.to_vec(), prefix.clone()));
+                return;
+            }
+            let Some(seg) = self.ident_at(self.i).map(str::to_string) else {
+                return;
+            };
+            self.i += 1;
+            if self.is(self.i, ':') && self.is(self.i + 1, ':') {
+                self.i += 2;
+                prefix.push(seg);
+                continue;
+            }
+            // End of a path: optional `as` alias.
+            let (name, path) = if seg == "self" {
+                let name = prefix.last().cloned().unwrap_or_default();
+                (name, prefix.clone())
+            } else {
+                let mut p = prefix.clone();
+                p.push(seg.clone());
+                (seg, p)
+            };
+            let name = if self.ident_at(self.i) == Some("as") {
+                self.i += 1;
+                let alias = self.ident_at(self.i).map(str::to_string);
+                self.i += 1;
+                alias.unwrap_or(name)
+            } else {
+                name
+            };
+            if !name.is_empty() {
+                self.out.uses.push(UseImport {
+                    name,
+                    path,
+                    scope: scope.to_vec(),
+                });
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lex(src))
+    }
+
+    fn fn_names(p: &ParsedFile) -> Vec<String> {
+        p.fns.iter().map(|f| f.path.join("::")).collect()
+    }
+
+    #[test]
+    fn modules_impls_and_fns_nest() {
+        let src = "\
+mod a {
+    pub fn free() {}
+    pub struct S { x: u32 }
+    impl S {
+        pub fn method(&self) -> u32 { helper() }
+    }
+    mod b {
+        fn deep() {}
+    }
+}
+fn top() {}
+trait T {
+    fn provided(&self) { default_impl(); }
+    fn required(&self);
+}";
+        let p = parse(src);
+        assert_eq!(
+            fn_names(&p),
+            vec![
+                "a::free",
+                "a::S::method",
+                "a::b::deep",
+                "top",
+                "T::provided"
+            ]
+        );
+        assert!(p.fns[1].is_method);
+        assert!(!p.fns[0].is_method);
+    }
+
+    #[test]
+    fn impl_trait_for_type_records_the_type() {
+        let src = "\
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { inner() }
+}
+impl<W: Write> JsonlSink<W> {
+    fn write(&mut self) { go() }
+}";
+        let p = parse(src);
+        assert_eq!(fn_names(&p), vec!["Diagnostic::fmt", "JsonlSink::write"]);
+    }
+
+    #[test]
+    fn calls_paths_methods_and_turbofish() {
+        let src = "\
+fn f() {
+    helper();
+    a::b::c(1, 2);
+    x.method(3);
+    v.collect::<Vec<_>>();
+    Instant::now();
+    Self::assoc();
+    if cond(x) { return; }
+    format!(\"{}\", inner_call());
+}";
+        let p = parse(src);
+        let calls: Vec<String> = p.fns[0]
+            .calls
+            .iter()
+            .map(|c| match &c.callee {
+                Callee::Path(s) => s.join("::"),
+                Callee::Method(m) => format!(".{m}"),
+            })
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                "helper",
+                "a::b::c",
+                ".method",
+                ".collect",
+                "Instant::now",
+                "Self::assoc",
+                "cond",
+                "inner_call"
+            ]
+        );
+    }
+
+    #[test]
+    fn self_resolves_to_impl_type() {
+        let src = "impl Foo { fn f() { Self::make(); } }";
+        let p = parse(src);
+        assert_eq!(
+            p.fns[0].calls[0].callee,
+            Callee::Path(vec!["Foo".into(), "make".into()])
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "\
+fn live() { a(); }
+#[cfg(test)]
+mod tests {
+    fn hidden() { std::time::Instant::now(); }
+}
+#[cfg(test)]
+fn also_hidden() { b(); }
+fn live2() {}";
+        let p = parse(src);
+        assert_eq!(fn_names(&p), vec!["live", "live2"]);
+    }
+
+    #[test]
+    fn use_trees_bind_names() {
+        let src = "\
+use odlb_trace::{Tracer, sink::{fnv1a64, JsonlSink as JS}};
+use odlb_engine::stamp;
+use std::collections::BTreeMap;
+use odlb_metrics::prelude::*;
+mod inner { use crate::top::Thing; }";
+        let p = parse(src);
+        let bound: Vec<(String, String)> = p
+            .uses
+            .iter()
+            .map(|u| (u.name.clone(), u.path.join("::")))
+            .collect();
+        assert!(bound.contains(&("Tracer".into(), "odlb_trace::Tracer".into())));
+        assert!(bound.contains(&("fnv1a64".into(), "odlb_trace::sink::fnv1a64".into())));
+        assert!(bound.contains(&("JS".into(), "odlb_trace::sink::JsonlSink".into())));
+        assert!(bound.contains(&("stamp".into(), "odlb_engine::stamp".into())));
+        assert!(bound.contains(&("Thing".into(), "crate::top::Thing".into())));
+        assert_eq!(p.globs.len(), 1);
+        assert_eq!(p.globs[0].1.join("::"), "odlb_metrics::prelude");
+        // the `use` inside `mod inner` carries its scope
+        let inner = p.uses.iter().find(|u| u.name == "Thing").unwrap();
+        assert_eq!(inner.scope, vec!["inner".to_string()]);
+    }
+
+    #[test]
+    fn generics_and_where_clauses_do_not_derail() {
+        let src = "\
+fn generic<T: Fn(u32) -> u32, const N: usize>(x: [T; N]) -> Vec<u32>
+where
+    T: Clone,
+{
+    work(x)
+}";
+        let p = parse(src);
+        assert_eq!(fn_names(&p), vec!["generic"]);
+        assert_eq!(p.fns[0].calls.len(), 1);
+    }
+
+    #[test]
+    fn fn_body_ranges_cover_the_braces() {
+        let src = "fn a() { x(); }\nfn b() { y(); }";
+        let p = parse(src);
+        for f in &p.fns {
+            assert!(p.fns.len() == 2);
+            let (s, e) = f.body;
+            assert!(s < e);
+        }
+        assert_eq!(p.fns[0].line, 1);
+        assert_eq!(p.fns[1].line, 2);
+    }
+}

@@ -40,6 +40,18 @@ pub struct Policy {
     pub io_unwrap: bool,
 }
 
+/// One hop of a taint propagation chain (see [`crate::taint`]):
+/// source function first, sink-touching function last.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChainStep {
+    /// Workspace-relative path of the function's file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `crate::module::fn_name`, plus a source/sink annotation.
+    pub label: String,
+}
+
 /// One finding, rendered as `file:line: rule: message`.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Diagnostic {
@@ -47,10 +59,14 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based source line.
     pub line: u32,
-    /// Rule identifier (`D01` … `P01`, `M01`, `S00`).
+    /// Rule identifier (`D01` … `P01`, `M01`, `S00`, `T01` … `T03`).
     pub rule: &'static str,
-    /// Human-readable explanation.
+    /// Human-readable explanation. For taint findings this includes the
+    /// rendered source→…→sink chain.
     pub message: String,
+    /// Structured taint chain (empty for token-level findings); the
+    /// steps are also rendered into `message` for plain-text output.
+    pub chain: Vec<ChainStep>,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -64,7 +80,7 @@ impl std::fmt::Display for Diagnostic {
 }
 
 /// Iteration methods whose order reflects the hasher, not the data.
-const HASH_ITER_METHODS: [&str; 9] = [
+pub(crate) const HASH_ITER_METHODS: [&str; 9] = [
     "iter",
     "iter_mut",
     "keys",
@@ -114,7 +130,7 @@ const IO_EVIDENCE: [&str; 17] = [
 ];
 
 /// Ambient-randomness markers for D04.
-const RNG_EVIDENCE: [&str; 5] = [
+pub(crate) const RNG_EVIDENCE: [&str; 5] = [
     "rand",
     "thread_rng",
     "from_entropy",
@@ -129,6 +145,14 @@ const INT_TYPES: [&str; 12] = [
 /// Checks one lexed file under `policy`, applying suppression pragmas.
 /// `file` is the workspace-relative path used in diagnostics.
 pub fn check_file(file: &str, lexed: &Lexed, policy: Policy) -> Vec<Diagnostic> {
+    let raw = token_rules(file, lexed, policy);
+    apply_pragmas(file, lexed, raw, &BTreeSet::new())
+}
+
+/// Runs the token rules only, returning findings *before* pragma
+/// filtering — [`crate::analyze_sources`] pools these with the taint
+/// pass's findings and applies pragmas once per file.
+pub(crate) fn token_rules(file: &str, lexed: &Lexed, policy: Policy) -> Vec<Diagnostic> {
     let toks = &lexed.tokens;
     let in_test = test_spans(toks);
     let mut raw = Vec::new();
@@ -138,6 +162,7 @@ pub fn check_file(file: &str, lexed: &Lexed, policy: Policy) -> Vec<Diagnostic> 
         line,
         rule,
         message,
+        chain: Vec::new(),
     };
 
     if policy.timing {
@@ -158,13 +183,21 @@ pub fn check_file(file: &str, lexed: &Lexed, policy: Policy) -> Vec<Diagnostic> 
     if policy.io_unwrap {
         rule_p01(toks, &in_test, &mut |l, m| raw.push(diag(l, "P01", m)));
     }
-
-    apply_pragmas(file, lexed, raw)
+    raw
 }
 
 /// Filters `raw` findings through the file's suppression pragmas and
 /// appends S00 findings for malformed, reason-less or unused pragmas.
-fn apply_pragmas(file: &str, lexed: &Lexed, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+/// `extra_used` lists pragma lines consumed outside this pass (taint
+/// boundary pragmas stop propagation inside [`crate::taint`], so no
+/// diagnostic ever reaches them here — without this they would be
+/// flagged as suppressing nothing).
+pub(crate) fn apply_pragmas(
+    file: &str,
+    lexed: &Lexed,
+    raw: Vec<Diagnostic>,
+    extra_used: &BTreeSet<u32>,
+) -> Vec<Diagnostic> {
     // line -> indices into lexed.pragmas that may suppress that line
     // (a pragma covers its own line and the line directly below it).
     let mut by_line: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
@@ -173,7 +206,11 @@ fn apply_pragmas(file: &str, lexed: &Lexed, raw: Vec<Diagnostic>) -> Vec<Diagnos
         by_line.entry(p.line + 1).or_default().push(i);
     }
 
-    let mut used = vec![false; lexed.pragmas.len()];
+    let mut used: Vec<bool> = lexed
+        .pragmas
+        .iter()
+        .map(|p| extra_used.contains(&p.line))
+        .collect();
     let mut out = Vec::new();
     'diags: for d in raw {
         if let Some(candidates) = by_line.get(&d.line) {
@@ -199,6 +236,7 @@ fn apply_pragmas(file: &str, lexed: &Lexed, raw: Vec<Diagnostic>) -> Vec<Diagnos
                 rule: "S00",
                 message: "malformed pragma: expected `odlb-lint: allow(<rules>) — <reason>`"
                     .to_string(),
+                chain: Vec::new(),
             });
         } else if p.reason.is_empty() {
             out.push(Diagnostic {
@@ -209,6 +247,7 @@ fn apply_pragmas(file: &str, lexed: &Lexed, raw: Vec<Diagnostic>) -> Vec<Diagnos
                     "pragma allow({}) has no reason; a justification is mandatory",
                     p.rules.join(",")
                 ),
+                chain: Vec::new(),
             });
         } else if !used[i] {
             out.push(Diagnostic {
@@ -219,6 +258,7 @@ fn apply_pragmas(file: &str, lexed: &Lexed, raw: Vec<Diagnostic>) -> Vec<Diagnos
                     "pragma allow({}) suppresses nothing on this or the next line; delete it",
                     p.rules.join(",")
                 ),
+                chain: Vec::new(),
             });
         }
     }
@@ -229,7 +269,7 @@ fn apply_pragmas(file: &str, lexed: &Lexed, raw: Vec<Diagnostic>) -> Vec<Diagnos
 /// Marks every token inside a `#[cfg(test)] mod … { … }` span; rules
 /// skip those tokens (unit tests may use wall clocks, hash iteration and
 /// unwraps freely).
-fn test_spans(toks: &[Token]) -> Vec<bool> {
+pub(crate) fn test_spans(toks: &[Token]) -> Vec<bool> {
     let mut in_test = vec![false; toks.len()];
     let mut i = 0;
     while i + 7 < toks.len() {
@@ -332,7 +372,7 @@ fn rule_d01(toks: &[Token], in_test: &[bool], emit: &mut impl FnMut(u32, String)
 /// Identifiers bound to a `HashMap`/`HashSet` in this file: struct
 /// fields (`name: HashMap<…>`), annotated lets / params
 /// (`name: &mut HashMap<…>`) and inferred lets (`name = HashMap::new()`).
-fn hash_bound_idents(toks: &[Token]) -> BTreeSet<String> {
+pub(crate) fn hash_bound_idents(toks: &[Token]) -> BTreeSet<String> {
     let mut bound = BTreeSet::new();
     for i in 0..toks.len() {
         if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
@@ -437,7 +477,7 @@ fn rule_d02(toks: &[Token], in_test: &[bool], emit: &mut impl FnMut(u32, String)
 
 /// True when, between the iteration site and the end of the statement,
 /// the chain is explicitly sorted or lands in an ordered collection.
-fn sorted_downstream(toks: &[Token], from: usize) -> bool {
+pub(crate) fn sorted_downstream(toks: &[Token], from: usize) -> bool {
     for t in toks.iter().skip(from).take(80) {
         if t.is_punct(';') {
             return false;

@@ -1,0 +1,16 @@
+// Raw identifiers and byte-char escapes must not desync token
+// classification: everything above the last line is rule-clean, and a
+// desync would surface as phantom or missing findings.
+struct Sample {
+    r#type: u32,
+    r#loop: u8,
+}
+fn r#for(x: Sample) -> u32 {
+    let marker = b'\x1b';
+    let quote = b'\'';
+    let backslash = b'\\';
+    x.r#type + u32::from(marker) + u32::from(quote) + u32::from(backslash)
+}
+fn genuine() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,10 @@
+//! A wall-clock helper hiding in a bench-crate file.
+//!
+//! D01 exempts all of `crates/bench/` (the harness's payload is wall
+//! time), so token rules see nothing here — but this file is *not* a
+//! sanctioned taint boundary, so the read taints every caller.
+
+/// Microseconds since process start, straight off the wall clock.
+pub fn wall_micros() -> u128 {
+    std::time::Instant::now().elapsed().as_micros()
+}

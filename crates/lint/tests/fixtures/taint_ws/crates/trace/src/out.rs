@@ -1,0 +1,19 @@
+//! Hop two: folds the stamp into the trace digest — the export sink.
+//! Token-clean in isolation; only the cross-crate chain is wrong.
+
+use odlb_engine::stamp::stamp_micros;
+
+/// Digest of the current stamp; feeds a trace artifact.
+pub fn stamp_digest() -> u64 {
+    fnv1a64(&stamp_micros().to_le_bytes())
+}
+
+/// FNV-1a over `bytes` (the workspace's trace digest function).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}

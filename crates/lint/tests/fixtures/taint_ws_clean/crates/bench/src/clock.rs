@@ -1,0 +1,8 @@
+//! The deterministic twin of `taint_ws`: identical shape, but the
+//! "clock" is a caller-owned counter — no nondeterminism source.
+
+/// Next tick of a caller-owned logical clock.
+pub fn tick_micros(counter: &mut u128) -> u128 {
+    *counter += 1;
+    *counter
+}

@@ -1,0 +1,8 @@
+//! Hop one of the deterministic twin.
+
+use odlb_bench::clock::tick_micros;
+
+/// An event stamp for trace records, from the logical clock.
+pub fn stamp_micros(counter: &mut u128) -> u128 {
+    tick_micros(counter)
+}

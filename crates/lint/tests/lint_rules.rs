@@ -87,6 +87,17 @@ fn tokens_inside_strings_and_comments_do_not_fire() {
 }
 
 #[test]
+fn lexer_edge_fixture_raw_idents_and_byte_chars() {
+    // `r#type` / `r#for` and `b'\x1b'`-style escapes must not desync the
+    // token stream: only the genuine wall-clock reads at the end fire
+    // (line 14 `std::time`, line 15 `std::time` + `Instant::now`).
+    assert_eq!(
+        lint_fixture("lexer_edge.rs"),
+        vec![(14, "D01"), (15, "D01"), (15, "D01")]
+    );
+}
+
+#[test]
 fn pragma_fixture_semantics() {
     // Suppressed-with-reason on line 4/5 vanishes; reasonless pragma is
     // S00 and its violation survives; stale and wrong-rule pragmas are

@@ -1,0 +1,273 @@
+//! Mutation-differential test for the taint engine.
+//!
+//! A clean three-crate workspace (bench source → engine relay → trace
+//! digest sink) is analyzed in memory, then each seeded nondeterminism
+//! mutation is injected at the source end — always ≥ 2 call hops and two
+//! crate boundaries away from the sink, and always in a file whose token
+//! policy exempts the corresponding D-rule. Every mutation must be caught
+//! by exactly the right T-rule with a chain reaching the sink, with NO
+//! token-rule findings at all: the differential proof that the flow layer
+//! sees what the token layer cannot.
+
+use odlb_lint::{analyze_sources, SourceFile};
+
+/// Sink end: fixed across all mutations. `digest` calls the relay and
+/// feeds the result to the workspace digest function.
+const SINK_REL: &str = "crates/trace/src/emitjson.rs";
+const SINK_SRC: &str = r#"
+use odlb_engine::relay::relay;
+
+pub fn digest(c: &mut u64) -> u64 {
+    fnv1a64(&relay(c).to_le_bytes())
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+"#;
+
+const RELAY_REL: &str = "crates/engine/src/relay.rs";
+
+/// Clean source: a logical counter, no ambient state.
+const CLEAN_REL: &str = "crates/bench/src/meter.rs";
+const CLEAN_SRC: &str = r#"
+pub fn sample(c: &mut u64) -> u64 {
+    *c += 1;
+    *c
+}
+"#;
+
+struct Mutation {
+    name: &'static str,
+    rule: &'static str,
+    /// Path of the mutated source file; chosen so the matching token
+    /// rule is policy-exempt there (bench → D01 off, runner.rs → D04
+    /// off), leaving the taint layer as the only possible detector.
+    source_rel: &'static str,
+    /// Module the relay imports `sample` from (derived from source_rel).
+    source_mod: &'static str,
+    source_src: &'static str,
+}
+
+const MUTATIONS: &[Mutation] = &[
+    Mutation {
+        name: "wall_instant",
+        rule: "T01",
+        source_rel: "crates/bench/src/meter.rs",
+        source_mod: "meter",
+        source_src: r#"
+pub fn sample(c: &mut u64) -> u64 {
+    let _ = c;
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+"#,
+    },
+    Mutation {
+        name: "wall_system_time",
+        rule: "T01",
+        source_rel: "crates/bench/src/meter.rs",
+        source_mod: "meter",
+        source_src: r#"
+pub fn sample(c: &mut u64) -> u64 {
+    let _ = c;
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+"#,
+    },
+    Mutation {
+        name: "wall_hidden_local_hop",
+        rule: "T01",
+        source_rel: "crates/bench/src/meter.rs",
+        source_mod: "meter",
+        source_src: r#"
+pub fn sample(c: &mut u64) -> u64 {
+    let _ = c;
+    now_ns()
+}
+
+fn now_ns() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+"#,
+    },
+    Mutation {
+        name: "wall_method_hop",
+        rule: "T01",
+        source_rel: "crates/bench/src/meter.rs",
+        source_mod: "meter",
+        source_src: r#"
+pub struct Meter;
+
+impl Meter {
+    pub fn read(&self) -> u64 {
+        std::time::Instant::now().elapsed().as_nanos() as u64
+    }
+}
+
+pub fn sample(c: &mut u64) -> u64 {
+    let _ = c;
+    Meter.read()
+}
+"#,
+    },
+    Mutation {
+        name: "rand_thread_rng",
+        rule: "T02",
+        source_rel: "crates/bench/src/runner.rs",
+        source_mod: "runner",
+        source_src: r#"
+pub fn sample(c: &mut u64) -> u64 {
+    let _ = c;
+    thread_rng()
+}
+
+fn thread_rng() -> u64 {
+    7
+}
+"#,
+    },
+    Mutation {
+        name: "thread_identity",
+        rule: "T02",
+        source_rel: "crates/bench/src/runner.rs",
+        source_mod: "runner",
+        source_src: r#"
+pub fn sample(c: &mut u64) -> u64 {
+    let _ = c;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::hash::Hash::hash(&std::thread::current().id(), &mut h);
+    std::hash::Hasher::finish(&h)
+}
+"#,
+    },
+    Mutation {
+        name: "parallelism",
+        rule: "T02",
+        source_rel: "crates/bench/src/runner.rs",
+        source_mod: "runner",
+        source_src: r#"
+pub fn sample(c: &mut u64) -> u64 {
+    let _ = c;
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+"#,
+    },
+    Mutation {
+        name: "ptr_addr_format",
+        rule: "T03",
+        source_rel: "crates/bench/src/meter.rs",
+        source_mod: "meter",
+        source_src: r#"
+pub fn sample(c: &mut u64) -> u64 {
+    let s = format!("{:p}", c);
+    s.len() as u64
+}
+"#,
+    },
+    Mutation {
+        name: "hash_order_iter",
+        rule: "T03",
+        source_rel: "crates/bench/src/meter.rs",
+        source_mod: "meter",
+        source_src: r#"
+use std::collections::HashMap;
+
+pub fn sample(c: &mut u64) -> u64 {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(*c, 1);
+    let vs: Vec<u64> = m.values().copied().collect();
+    vs.first().copied().unwrap_or(0)
+}
+"#,
+    },
+    Mutation {
+        name: "hash_order_for_loop",
+        rule: "T03",
+        source_rel: "crates/bench/src/meter.rs",
+        source_mod: "meter",
+        source_src: r#"
+use std::collections::HashMap;
+
+pub fn sample(c: &mut u64) -> u64 {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(*c, 1);
+    let mut acc = 0;
+    for (_k, v) in &m {
+        acc ^= *v;
+    }
+    acc
+}
+"#,
+    },
+];
+
+fn workspace(source_rel: &str, source_mod: &str, source_src: &str) -> Vec<SourceFile> {
+    let relay_src = format!(
+        "use odlb_bench::{source_mod}::sample;\n\n\
+         pub fn relay(c: &mut u64) -> u64 {{\n    sample(c)\n}}\n"
+    );
+    vec![
+        SourceFile {
+            rel: source_rel.to_string(),
+            text: source_src.to_string(),
+        },
+        SourceFile {
+            rel: RELAY_REL.to_string(),
+            text: relay_src,
+        },
+        SourceFile {
+            rel: SINK_REL.to_string(),
+            text: SINK_SRC.to_string(),
+        },
+    ]
+}
+
+#[test]
+fn clean_base_has_no_findings() {
+    let diags = analyze_sources(&workspace(CLEAN_REL, "meter", CLEAN_SRC));
+    assert!(diags.is_empty(), "clean base flagged: {diags:#?}");
+}
+
+#[test]
+fn every_seeded_mutation_is_caught_by_the_right_t_rule() {
+    for m in MUTATIONS {
+        let diags = analyze_sources(&workspace(m.source_rel, m.source_mod, m.source_src));
+        // Token rules must stay silent — the mutation sits in a file
+        // whose policy exempts the matching D-rule. Anything non-T here
+        // means the differential premise broke.
+        let non_taint: Vec<_> = diags.iter().filter(|d| !d.rule.starts_with('T')).collect();
+        assert!(
+            non_taint.is_empty(),
+            "{}: token rules fired, mutation is not token-invisible: {non_taint:#?}",
+            m.name
+        );
+        let hit = diags
+            .iter()
+            .find(|d| d.rule == m.rule && d.file == SINK_REL)
+            .unwrap_or_else(|| panic!("{}: no {} at the sink; got {diags:#?}", m.name, m.rule));
+        // The chain must walk back across both crate boundaries to the
+        // mutated source file.
+        assert!(
+            hit.chain.iter().any(|s| s.file == m.source_rel),
+            "{}: chain does not reach the mutated source: {:#?}",
+            m.name,
+            hit.chain
+        );
+        assert!(
+            hit.chain.len() >= 3,
+            "{}: expected >= 2 call hops, chain was {:#?}",
+            m.name,
+            hit.chain
+        );
+    }
+}

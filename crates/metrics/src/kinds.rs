@@ -9,7 +9,7 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 
 /// One monitored per-class metric.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum MetricKind {
     /// Mean query latency over the interval (seconds).
     Latency,

@@ -2,7 +2,7 @@
 
 use crate::quartiles::quartiles;
 use odlb_metrics::{ClassId, MetricKind, MetricVector, METRIC_KINDS};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// How metric weights are derived.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,7 +105,9 @@ pub struct OutlierReport {
     /// problem classes for MRC investigation (§3.3.2).
     pub new_classes: Vec<ClassId>,
     /// All computed impacts, for reporting and the fence ablation.
-    pub impacts: HashMap<(ClassId, MetricKind), f64>,
+    /// Ordered so downstream iteration (figures, ablation medians) is
+    /// deterministic.
+    pub impacts: BTreeMap<(ClassId, MetricKind), f64>,
 }
 
 impl OutlierReport {
