@@ -1,0 +1,150 @@
+//! Microbenchmarks for the simulation event queue: the calendar-queue
+//! `EventQueue` against the retained `BinaryHeapEventQueue` oracle, in
+//! the fig-scale regime — ~1M resident events with think-time-scattered
+//! timestamps plus a hold (pop-one-push-one) steady state.
+//!
+//! The calendar-vs-heap comparison and its derived speedup record merge
+//! into `BENCH_experiments.json` next to the figure wall-clocks; the
+//! hold-pattern speedup record is the acceptance gate (≥ 2x).
+
+use odlb_bench::harness::{black_box, Bench};
+use odlb_sim::{BinaryHeapEventQueue, EventQueue, SimDuration, SimTime};
+use std::time::Duration;
+
+/// Deterministic splitmix64 stream (shared by both queues, so the
+/// workloads are identical event for event).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Timestamps in the fig-scale shape: `n` events scattered over a 200 s
+/// horizon (sessions sleeping out exponential-ish think times).
+fn timestamps(n: usize) -> Vec<SimTime> {
+    let mut state = 0x0123_4567_89ab_cdefu64;
+    (0..n)
+        .map(|_| SimTime::from_micros(splitmix(&mut state) % 200_000_000))
+        .collect()
+}
+
+/// Relative think-time delays for the hold phase.
+fn delays(n: usize) -> Vec<SimDuration> {
+    let mut state = 0xdead_beef_cafe_f00du64;
+    (0..n)
+        .map(|_| SimDuration::from_micros(splitmix(&mut state) % 400_000_000))
+        .collect()
+}
+
+/// Resident events held by the queue throughout the hold phase.
+const RESIDENT: usize = 1_000_000;
+/// Pop+push pairs per timed hold iteration: small enough that the
+/// harness gets several iterations inside its time budget (the derived
+/// speedup uses the min, so more iterations = less scheduler noise).
+const HOLD_OPS: usize = 100_000;
+
+/// The driver's steady state: a queue holding `RESIDENT` events, each
+/// pop rescheduling one event further out (a session finishing a query
+/// and sleeping its think time).
+fn hold<Q>(
+    queue: &mut Q,
+    pop: impl Fn(&mut Q) -> Option<(SimTime, u64)>,
+    push: impl Fn(&mut Q, SimTime, u64),
+    delays: &[SimDuration],
+) -> u64 {
+    let mut acc = 0u64;
+    for d in delays {
+        let (t, payload) = pop(queue).expect("queue stays resident");
+        acc = acc.wrapping_add(payload);
+        push(queue, t + *d, payload);
+    }
+    acc
+}
+
+fn main() {
+    let stamps = timestamps(RESIDENT);
+    let hold_delays = delays(HOLD_OPS);
+
+    let mut merged = Bench::merged("experiments");
+    // Fill + full drain, then the resident hold pattern, for both
+    // implementations on identical inputs.
+    merged.bench_elements("eventqueue/calendar_fill_drain/1m", RESIDENT as u64, || {
+        let mut q = EventQueue::new();
+        for (i, &t) in stamps.iter().enumerate() {
+            q.schedule(t, i as u64);
+        }
+        let mut acc = 0u64;
+        while let Some((_, p)) = q.pop() {
+            acc = acc.wrapping_add(p);
+        }
+        black_box(acc)
+    });
+    merged.bench_elements("eventqueue/heap_fill_drain/1m", RESIDENT as u64, || {
+        let mut q = BinaryHeapEventQueue::new();
+        for (i, &t) in stamps.iter().enumerate() {
+            q.schedule(t, i as u64);
+        }
+        let mut acc = 0u64;
+        while let Some((_, p)) = q.pop() {
+            acc = acc.wrapping_add(p);
+        }
+        black_box(acc)
+    });
+
+    // Hold phase: the queue is prefilled ONCE, outside the timed body;
+    // each timed iteration runs `HOLD_OPS` pop+push pairs on the same
+    // 1M-resident queue, so only the steady state — the driver's actual
+    // hot loop — is measured. The clock just keeps advancing between
+    // iterations.
+    {
+        let mut q = EventQueue::new();
+        for (i, &t) in stamps.iter().enumerate() {
+            q.schedule(t, i as u64);
+        }
+        merged.bench_elements("eventqueue/calendar_hold/100k", HOLD_OPS as u64, || {
+            black_box(hold(
+                &mut q,
+                |q| q.pop(),
+                |q, t, p| q.schedule(t, p),
+                &hold_delays,
+            ))
+        });
+    }
+    {
+        let mut q = BinaryHeapEventQueue::new();
+        for (i, &t) in stamps.iter().enumerate() {
+            q.schedule(t, i as u64);
+        }
+        merged.bench_elements("eventqueue/heap_hold/100k", HOLD_OPS as u64, || {
+            black_box(hold(
+                &mut q,
+                |q| q.pop(),
+                |q, t, p| q.schedule(t, p),
+                &hold_delays,
+            ))
+        });
+    }
+
+    // The speedup records carry the ratio in ns_per_op (unit-free; see
+    // the names). Ratios come from per-iteration minima — the
+    // noise-robust statistic. Skipped when a CLI filter excluded either
+    // side.
+    for (phase, scale) in [("fill_drain", "1m"), ("hold", "100k")] {
+        if let (Some(heap_ns), Some(cal_ns)) = (
+            merged.min_ns_of(&format!("eventqueue/heap_{phase}/{scale}")),
+            merged.min_ns_of(&format!("eventqueue/calendar_{phase}/{scale}")),
+        ) {
+            let speedup = heap_ns as f64 / cal_ns.max(1) as f64;
+            merged.record_wall(
+                &format!("eventqueue/calendar_speedup_x_{phase}/{scale}"),
+                Duration::from_nanos(speedup.round() as u64),
+            );
+            println!(
+                "calendar {phase} speedup over heap: {speedup:.2}x{}",
+                if phase == "hold" { " (gate: >=2x)" } else { "" }
+            );
+        }
+    }
+}

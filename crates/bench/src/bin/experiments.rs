@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments [fig3|fig3-mini|fig4|fig5|fig6|table1|table2|table3|
+//!              fig-scale|fig-scale-mini|
 //!              ablation-fences|ablation-weights|ablation-coarse|
 //!              ablation-mrc-threshold|ablation-mrc-approx|
 //!              ablation-mrc-sampled|all]
@@ -138,6 +139,7 @@ fn main() {
     let Some(selection) = suite::resolve(&arg) else {
         eprintln!(
             "unknown experiment '{arg}'; valid: fig3 fig3-mini fig4 fig5 fig6 table1 table2 table3 \
+             fig-scale fig-scale-mini \
              ablation-fences ablation-weights ablation-coarse ablation-mrc-threshold \
              ablation-mrc-approx ablation-mrc-sampled all"
         );
@@ -199,7 +201,14 @@ fn main() {
             any_profile = true;
         }
         if let Some(b) = &mut bench {
-            b.record_wall(&format!("jobs={jobs}/{}", out.name), out.wall);
+            let name = format!("jobs={jobs}/{}", out.name);
+            if out.elements > 0 {
+                // Figures that count work units (fig-scale: events
+                // dispatched) get a throughput-readable record.
+                b.record_wall_elements(&name, out.wall, out.elements);
+            } else {
+                b.record_wall(&name, out.wall);
+            }
         }
     });
     let total_wall = suite_start.elapsed();

@@ -7,6 +7,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod mrc_common;
 pub mod sampled;
+pub mod scale;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -104,6 +104,17 @@ impl Bench {
             .map(|r| r.mean_ns)
     }
 
+    /// Minimum per-iteration time of an already-recorded benchmark, by
+    /// name. The min is the noise-robust statistic: derived ratios (the
+    /// eventqueue speedup gate) use it so a background-load hiccup on
+    /// one side cannot skew the comparison.
+    pub fn min_ns_of(&self, name: &str) -> Option<u128> {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.min_ns)
+    }
+
     /// Records one externally measured wall time as a single-iteration
     /// result (mean = min = `wall`). Nothing is printed: wall times are
     /// nondeterministic and must not perturb deterministic stdout.
@@ -114,6 +125,19 @@ impl Bench {
             min_ns: wall.as_nanos(),
             iters: 1,
             elements: 0,
+        });
+    }
+
+    /// [`Bench::record_wall`] with a work-unit count: the record carries
+    /// `elements`, so `elements / ns_per_op` reads back as a throughput
+    /// (the experiments suite logs fig-scale's events/sec this way).
+    pub fn record_wall_elements(&mut self, name: &str, wall: Duration, elements: u64) {
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            mean_ns: wall.as_nanos(),
+            min_ns: wall.as_nanos(),
+            iters: 1,
+            elements,
         });
     }
 

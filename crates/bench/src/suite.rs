@@ -37,16 +37,21 @@ pub const ALL_FIGURES: [&str; 13] = [
     "ablation-mrc-sampled",
 ];
 
+/// Selectable figures that `all` does not include: the CI-scale fig3
+/// smoke run and the event hot-path scaling sweep (full and CI-scale).
+const EXTRA_FIGURES: [&str; 3] = ["fig3-mini", "fig-scale", "fig-scale-mini"];
+
 /// Resolves a command-line selector into the figures it runs: `all`
-/// expands to [`ALL_FIGURES`], `fig3-mini` (a CI-scale fig3 that `all`
-/// does not include) selects itself, any single figure name selects
-/// that figure. Unknown names resolve to `None`.
+/// expands to [`ALL_FIGURES`], the extra figures (`fig3-mini`,
+/// `fig-scale`, `fig-scale-mini` — runs `all` does not include) select
+/// themselves, any single figure name selects that figure. Unknown
+/// names resolve to `None`.
 pub fn resolve(arg: &str) -> Option<Vec<&'static str>> {
     if arg == "all" {
         return Some(ALL_FIGURES.to_vec());
     }
-    if arg == "fig3-mini" {
-        return Some(vec!["fig3-mini"]);
+    if let Some(extra) = EXTRA_FIGURES.iter().find(|f| **f == arg) {
+        return Some(vec![*extra]);
     }
     ALL_FIGURES.iter().find(|f| **f == arg).map(|f| vec![*f])
 }
@@ -90,6 +95,11 @@ pub struct FigureOutput {
     pub profile: Option<SpanProfiler>,
     /// Wall-clock time the figure's job took to run.
     pub wall: Duration,
+    /// Work units the figure processed (0 when it doesn't count any):
+    /// `fig-scale` reports events dispatched, so `elements / wall` is
+    /// its events/sec. Kept out of `stdout` — wall-clock-derived values
+    /// would break byte-parity across runs.
+    pub elements: u64,
 }
 
 /// Runs `selection` on up to `cfg.jobs` workers, invoking `commit` once
@@ -133,6 +143,7 @@ fn plain(
             publish: None,
             profile: None,
             wall: start.elapsed(),
+            elements: 0,
         }
     })
 }
@@ -147,6 +158,21 @@ fn traced(
     cfg: &SuiteConfig,
     multiple: bool,
     run: impl FnOnce(Tracer, Telemetry, Option<SharedSpanProfiler>) -> String + Send + 'static,
+) -> Job<FigureOutput> {
+    traced_counted(name, title, cfg, multiple, move |t, tel, p| {
+        (run(t, tel, p), 0)
+    })
+}
+
+/// [`traced`] for figures that also count work units: the closure
+/// returns `(body, elements)` and the element count rides on the
+/// [`FigureOutput`] so the caller can derive a throughput benchmark.
+fn traced_counted(
+    name: &'static str,
+    title: &'static str,
+    cfg: &SuiteConfig,
+    multiple: bool,
+    run: impl FnOnce(Tracer, Telemetry, Option<SharedSpanProfiler>) -> (String, u64) + Send + 'static,
 ) -> Job<FigureOutput> {
     let trace_path = cfg.trace_path.as_ref().map(|p| {
         if multiple {
@@ -176,7 +202,7 @@ fn traced(
         let _suite = odlb_telemetry::enter_span(&profiler, "experiments");
         let _figure = odlb_telemetry::enter_span(&profiler, name);
         let start = Instant::now();
-        let body = run(tracer, telemetry.clone(), profiler.clone());
+        let (body, elements) = run(tracer, telemetry.clone(), profiler.clone());
         let wall = start.elapsed();
         // Close the roots before snapshotting: spans record on exit.
         drop(_figure);
@@ -221,6 +247,7 @@ fn traced(
             publish,
             profile,
             wall,
+            elements,
         }
     })
 }
@@ -257,6 +284,26 @@ fn figure_job(name: &'static str, cfg: &SuiteConfig, multiple: bool) -> Job<Figu
             cfg,
             multiple,
             |t, tel, p| fig3::render(&fig3::figure_mini_instrumented(t, tel, p)),
+        ),
+        "fig-scale" => traced_counted(
+            name,
+            "fig-scale — event hot-path scaling: 112 replicas, 1M resident sessions",
+            cfg,
+            multiple,
+            |t, tel, p| {
+                let r = scale::figure_instrumented(t, tel, p);
+                (scale::render(&r), r.total_events())
+            },
+        ),
+        "fig-scale-mini" => traced_counted(
+            name,
+            "fig-scale (miniature smoke run) — event hot-path scaling",
+            cfg,
+            multiple,
+            |t, tel, p| {
+                let r = scale::figure_mini_instrumented(t, tel, p);
+                (scale::render(&r), r.total_events())
+            },
         ),
         "fig4" => traced(
             name,
@@ -324,7 +371,9 @@ mod tests {
         for name in ALL_FIGURES {
             assert_eq!(resolve(name).unwrap(), vec![name]);
         }
-        assert_eq!(resolve("fig3-mini").unwrap(), vec!["fig3-mini"]);
+        for name in EXTRA_FIGURES {
+            assert_eq!(resolve(name).unwrap(), vec![name]);
+        }
         assert!(resolve("fig7").is_none());
         assert!(resolve("").is_none());
     }

@@ -12,13 +12,14 @@
 //! This mirrors the paper's decision managers acting between measurement
 //! intervals.
 
+use crate::aggregate;
 use crate::scheduler::Scheduler;
 use crate::topology::{InstanceId, ProvisionError};
 use odlb_engine::{DbEngine, EngineConfig, QuerySpec};
 use odlb_metrics::{AppId, ClassId, IntervalReport, QueryLogRecord, ServerId, Sla, SlaOutcome};
 use odlb_mrc::MissRatioCurve;
 use odlb_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use odlb_storage::{DiskModel, DomainId, SharedIoPath};
+use odlb_storage::{DiskModel, DomainId, PageId, SharedIoPath};
 use odlb_telemetry::{
     enter_span, profile_span, span_units, LogLinearHistogram, SharedSpanProfiler, Telemetry,
 };
@@ -37,6 +38,12 @@ pub struct SimulationConfig {
     pub load_update_interval: SimDuration,
     /// Data copy + warm-up delay before a provisioned replica serves.
     pub provisioning_delay: SimDuration,
+    /// Instances per rack for the hierarchical interval close
+    /// ([`crate::aggregate`]). `0` (the default) folds everything into
+    /// one cluster-wide rack, which reproduces the historical flat
+    /// aggregation bit for bit; large clusters set a real rack size so
+    /// partial sums fold rack-by-rack.
+    pub rack_size: usize,
 }
 
 impl Default for SimulationConfig {
@@ -46,6 +53,7 @@ impl Default for SimulationConfig {
             measurement_interval: SimDuration::from_secs(10),
             load_update_interval: SimDuration::from_secs(2),
             provisioning_delay: SimDuration::from_secs(20),
+            rack_size: 0,
         }
     }
 }
@@ -151,6 +159,15 @@ pub struct Simulation {
     telemetry: Telemetry,
     profiler: Option<SharedSpanProfiler>,
     interval_seq: u64,
+    /// Recycled routing scratch (per-instance outstanding counts) — the
+    /// hot path fills it in place instead of allocating per query.
+    route_loads: Vec<usize>,
+    /// Recycled page buffer for sampled query specs: each issued query
+    /// borrows it via [`WorkloadSpec::sample_query_into`] and hands it
+    /// back after dispatch, so steady-state sampling never allocates.
+    spec_pages: Vec<PageId>,
+    /// Events dispatched since construction (events/sec accounting).
+    events_processed: u64,
 }
 
 impl Simulation {
@@ -169,7 +186,16 @@ impl Simulation {
             telemetry: Telemetry::inactive(),
             profiler: None,
             interval_seq: 0,
+            route_loads: Vec::new(),
+            spec_pages: Vec::new(),
+            events_processed: 0,
         }
+    }
+
+    /// Total events dispatched by the loop since construction — the
+    /// numerator of the events/sec scaling benchmark.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Installs a decision-trace handle. The driver emits
@@ -576,6 +602,7 @@ impl Simulation {
             }
             let (t, ev) = self.queue.pop().expect("peeked");
             self.now = t;
+            self.events_processed += 1;
             self.handle(t, ev);
         }
         self.now = tick_at;
@@ -590,45 +617,25 @@ impl Simulation {
             let report = inst.engine.close_interval(end);
             reports.insert(InstanceId(i as u32), report);
         }
+        // Hierarchical aggregation: one pass per instance into rack
+        // partials, rack partials folded into the cluster view — instead
+        // of re-walking every report once per application. With the
+        // default single rack the floating-point accumulation order (and
+        // thus every artifact) is identical to the flat pass.
+        let mut cluster = aggregate::aggregate_cluster(&reports, self.config.rack_size);
         let mut app_latency = BTreeMap::new();
         let mut app_throughput = BTreeMap::new();
         let mut app_p95 = BTreeMap::new();
         let mut sla = BTreeMap::new();
         for app in &mut self.apps {
             let id = app.spec.app;
-            // Tail latency across the app's classes and replicas this
-            // interval: merge the per-class interval histograms.
-            let mut tail: Option<LogLinearHistogram> = None;
-            for report in reports.values() {
-                for (class, hist) in &report.latency_histograms {
-                    if class.app == id {
-                        tail.get_or_insert_with(LogLinearHistogram::default)
-                            .merge(hist);
-                    }
-                }
-            }
-            app_p95.insert(id, tail.and_then(|h| h.quantile(0.95)));
-            // Aggregate across instances: weighted mean latency.
-            let mut lat_weight = 0.0;
-            let mut weight = 0.0;
-            let mut tput = 0.0;
-            for report in reports.values() {
-                if let Some(mean) = report.app_mean_latency(id) {
-                    let t = report.app_throughput(id);
-                    lat_weight += mean * t;
-                    weight += t;
-                    tput += t;
-                }
-            }
-            let mean_latency = if weight > 1e-12 {
-                Some(lat_weight / weight)
-            } else {
-                None
-            };
+            let agg = cluster.remove(&id).unwrap_or_default();
+            app_p95.insert(id, agg.tail.as_ref().and_then(|h| h.quantile(0.95)));
+            let mean_latency = agg.mean_latency();
             let had_load = app.offered_this_interval > 0;
             app.offered_this_interval = 0;
             app_latency.insert(id, mean_latency);
-            app_throughput.insert(id, tput);
+            app_throughput.insert(id, agg.tput);
             sla.insert(id, app.sla.evaluate(mean_latency, had_load));
         }
         let servers: Vec<ServerSnapshot> = self
@@ -890,25 +897,37 @@ impl Simulation {
             self.apps[app].active_clients -= 1;
             return;
         }
+        // Sample into the recycled page buffer — no allocation once the
+        // buffer has grown to the largest page list seen.
         let spec = {
+            let pages = std::mem::take(&mut self.spec_pages);
             let a = &mut self.apps[app];
-            a.spec.sample_query(&mut a.rng)
+            a.spec.sample_query_into(&mut a.rng, pages)
         };
-        let loads: Vec<usize> = self.instances.iter().map(|i| i.outstanding).collect();
-        let outstanding = |i: InstanceId| loads[i.0 as usize];
-        let route = if spec.is_write {
-            self.apps[app]
-                .scheduler
-                .route_write(spec.class, outstanding)
-                .map(|r| (r.primary, r.applies))
-        } else {
-            self.apps[app]
-                .scheduler
-                .route_read(spec.class, outstanding)
-                .map(|p| (p, Vec::new()))
+        // Routing scratch: refill the recycled per-instance load vector
+        // instead of collecting a fresh one per query.
+        let route = {
+            let mut loads = std::mem::take(&mut self.route_loads);
+            loads.clear();
+            loads.extend(self.instances.iter().map(|i| i.outstanding));
+            let outstanding = |i: InstanceId| loads[i.0 as usize];
+            let route = if spec.is_write {
+                self.apps[app]
+                    .scheduler
+                    .route_write(spec.class, outstanding)
+                    .map(|r| (r.primary, r.applies))
+            } else {
+                self.apps[app]
+                    .scheduler
+                    .route_read(spec.class, outstanding)
+                    .map(|p| (p, Vec::new()))
+            };
+            self.route_loads = loads;
+            route
         };
         let Some((primary, applies)) = route else {
             // No ready replica (all still provisioning): retry shortly.
+            self.recycle_pages(spec.pages);
             self.queue.schedule(
                 now + SimDuration::from_millis(100),
                 Event::ClientIssue { app, client },
@@ -917,12 +936,23 @@ impl Simulation {
         };
         self.apps[app].offered_this_interval += 1;
         self.execute_on(now, app, Some(client), primary, &spec);
-        if !applies.is_empty() {
-            let apply_spec = spec.as_replica_apply();
+        let spec = if applies.is_empty() {
+            spec
+        } else {
+            let apply_spec = spec.into_replica_apply();
             for target in applies {
                 self.execute_on(now, app, None, target, &apply_spec);
             }
-        }
+            apply_spec
+        };
+        self.recycle_pages(spec.pages);
+    }
+
+    /// Returns a finished query's page buffer to the recycle slot
+    /// (engines read pages during `execute`, never after).
+    fn recycle_pages(&mut self, mut pages: Vec<PageId>) {
+        pages.clear();
+        self.spec_pages = pages;
     }
 
     fn execute_on(

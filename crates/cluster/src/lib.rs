@@ -19,10 +19,12 @@
 //!   controller (the `odlb-core` crate, or a baseline) can diagnose and
 //!   act between intervals exactly like the paper's decision managers.
 
+pub mod aggregate;
 pub mod driver;
 pub mod scheduler;
 pub mod topology;
 
+pub use aggregate::{AppAggregate, RackAggregate};
 pub use driver::{IntervalOutcome, ServerSnapshot, Simulation, SimulationConfig};
 pub use scheduler::Scheduler;
 pub use topology::{InstanceId, ProvisionError};

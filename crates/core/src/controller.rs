@@ -164,10 +164,11 @@ impl SelectiveRetuningController {
     fn cpu_saturated(&self, sim: &Simulation, outcome: &IntervalOutcome, app: AppId) -> bool {
         sim.replicas_of(app).iter().any(|&inst| {
             let server = sim.server_of(inst);
+            // Snapshots are index-aligned with server ids, so no scan.
             outcome
                 .servers
-                .iter()
-                .any(|s| s.server == server && s.cpu_utilisation >= self.config.cpu_saturation)
+                .get(server.0 as usize)
+                .is_some_and(|s| s.cpu_utilisation >= self.config.cpu_saturation)
         })
     }
 
@@ -182,8 +183,8 @@ impl SelectiveRetuningController {
             let server = sim.server_of(inst);
             outcome
                 .servers
-                .iter()
-                .any(|s| s.server == server && s.io_utilisation >= self.config.io_saturation)
+                .get(server.0 as usize)
+                .is_some_and(|s| s.io_utilisation >= self.config.io_saturation)
         })
     }
 
@@ -454,8 +455,7 @@ impl SelectiveRetuningController {
                 let server = sim.server_of(inst);
                 outcome
                     .servers
-                    .iter()
-                    .find(|s| s.server == server)
+                    .get(server.0 as usize)
                     .map(|s| s.cpu_utilisation)
                     .unwrap_or(1.0)
             })

@@ -212,6 +212,7 @@ impl DbEngine {
         }
         if let Some(batch) = self.logbuf.log(record) {
             self.collector.record_batch(&batch);
+            self.logbuf.recycle(batch);
         }
     }
 
@@ -270,6 +271,7 @@ impl DbEngine {
     pub fn close_interval(&mut self, now: SimTime) -> IntervalReport {
         let remainder = self.logbuf.flush();
         self.collector.record_batch(&remainder);
+        self.logbuf.recycle(remainder);
         self.locks.gc(now);
         if self.telemetry.is_active() {
             self.pool

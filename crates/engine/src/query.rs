@@ -47,6 +47,18 @@ impl QuerySpec {
         }
     }
 
+    /// [`QuerySpec::as_replica_apply`] by value: moves the page list
+    /// instead of cloning it, for callers done with the primary form
+    /// (the driver's hot path, which recycles the buffer afterwards).
+    pub fn into_replica_apply(self) -> QuerySpec {
+        debug_assert!(self.is_write, "only writes are applied on replicas");
+        QuerySpec {
+            cpu_base: self.cpu_base / 2,
+            cpu_per_page: self.cpu_per_page / 2,
+            ..self
+        }
+    }
+
     /// The pages this query locks exclusively (empty for reads).
     pub fn locked_pages(&self) -> &[odlb_storage::PageId] {
         if self.is_write {
@@ -88,6 +100,16 @@ mod tests {
         assert_eq!(a.pages, w.pages);
         assert!(a.is_write);
         assert_eq!(a.lock_prefix, w.lock_prefix);
+    }
+
+    #[test]
+    fn into_replica_apply_matches_borrowed_form() {
+        let w = spec(10, true);
+        let a = w.as_replica_apply();
+        let b = w.into_replica_apply();
+        assert_eq!(a.pages, b.pages);
+        assert_eq!(a.cpu_demand(), b.cpu_demand());
+        assert_eq!(a.lock_prefix, b.lock_prefix);
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct QueryLogRecord {
 #[derive(Clone, Debug)]
 pub struct PrivateLogBuffer {
     records: Vec<QueryLogRecord>,
+    /// Recycled batch storage: callers hand drained batches back via
+    /// [`PrivateLogBuffer::recycle`], so steady-state flushing swaps two
+    /// fixed buffers instead of allocating one per flush.
+    spare: Vec<QueryLogRecord>,
     capacity: usize,
     flushes: u64,
 }
@@ -48,6 +52,7 @@ impl PrivateLogBuffer {
         assert!(capacity >= 1, "buffer must hold at least one record");
         PrivateLogBuffer {
             records: Vec::with_capacity(capacity),
+            spare: Vec::new(),
             capacity,
             flushes: 0,
         }
@@ -60,7 +65,10 @@ impl PrivateLogBuffer {
         self.records.push(record);
         if self.records.len() >= self.capacity {
             self.flushes += 1;
-            Some(std::mem::take(&mut self.records))
+            Some(std::mem::replace(
+                &mut self.records,
+                std::mem::take(&mut self.spare),
+            ))
         } else {
             None
         }
@@ -71,7 +79,13 @@ impl PrivateLogBuffer {
         if !self.records.is_empty() {
             self.flushes += 1;
         }
-        std::mem::take(&mut self.records)
+        std::mem::replace(&mut self.records, std::mem::take(&mut self.spare))
+    }
+
+    /// Returns a consumed batch's storage for reuse by the next flush.
+    pub fn recycle(&mut self, mut batch: Vec<QueryLogRecord>) {
+        batch.clear();
+        self.spare = batch;
     }
 
     /// Records currently buffered.
@@ -137,5 +151,23 @@ mod tests {
     #[should_panic(expected = "at least one record")]
     fn zero_capacity_rejected() {
         PrivateLogBuffer::new(0);
+    }
+
+    #[test]
+    fn recycled_batches_ping_pong_between_two_buffers() {
+        let mut buf = PrivateLogBuffer::new(2);
+        buf.log(rec(1));
+        let first = buf.log(rec(2)).unwrap();
+        let ptr = first.as_ptr();
+        buf.recycle(first);
+        buf.log(rec(3));
+        let second = buf.log(rec(4)).unwrap();
+        buf.recycle(second);
+        buf.log(rec(5));
+        let third = buf.log(rec(6)).unwrap();
+        assert_eq!(third.len(), 2);
+        // Steady state alternates between two fixed allocations: the
+        // third flush hands back the first flush's storage.
+        assert_eq!(third.as_ptr(), ptr);
     }
 }

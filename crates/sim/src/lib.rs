@@ -8,8 +8,11 @@
 //! The kernel provides:
 //!
 //! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution virtual clock.
-//! * [`EventQueue`] — a stable (FIFO within equal timestamps) priority queue
-//!   of user-defined events.
+//! * [`EventQueue`] — a stable (FIFO within equal timestamps) calendar
+//!   queue of user-defined events: O(1) push/pop at steady state, with
+//!   the previous binary-heap implementation retained as
+//!   [`BinaryHeapEventQueue`] — the differential-test oracle and bench
+//!   baseline.
 //! * [`rng::SimRng`] — a seeded, splittable PRNG plus the samplers the
 //!   workload models need (uniform, exponential, Zipf, Gaussian).
 //! * [`station::Station`] — a multi-server FCFS queueing station used to
@@ -33,184 +36,13 @@
 //! assert_eq!(ev, Ev::Tick(0));
 //! ```
 
+pub mod queue;
 pub mod rng;
 pub mod station;
 pub mod stats;
 pub mod time;
 
+pub use queue::{BinaryHeapEventQueue, EventQueue};
 pub use rng::SimRng;
 pub use station::Station;
 pub use time::{SimDuration, SimTime};
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-/// A pending event: fire time plus an insertion sequence number used to keep
-/// ordering stable (FIFO) among events scheduled for the same instant.
-struct Pending<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Pending<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Pending<E> {}
-impl<E> PartialOrd for Pending<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Pending<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// A deterministic event queue over a user-defined event type.
-///
-/// Events scheduled for the same [`SimTime`] are delivered in the order they
-/// were scheduled, which keeps multi-component simulations reproducible.
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Pending<E>>>,
-    seq: u64,
-    now: SimTime,
-}
-
-impl<E> Default for EventQueue<E> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<E> EventQueue<E> {
-    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
-    pub fn new() -> Self {
-        Self {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            now: SimTime::ZERO,
-        }
-    }
-
-    /// The current virtual time: the timestamp of the last popped event, or
-    /// zero before the first pop.
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// Schedules `event` to fire at absolute time `at`.
-    ///
-    /// Scheduling in the past is a logic error in the caller; the kernel
-    /// clamps it to `now` rather than time-travelling, so causality holds.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
-        let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Pending { at, seq, event }));
-    }
-
-    /// Schedules `event` to fire `delay` after the current time.
-    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
-        self.schedule(self.now + delay, event);
-    }
-
-    /// Pops the next event, advancing the clock to its timestamp.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(p) = self.heap.pop()?;
-        debug_assert!(p.at >= self.now, "event queue went back in time");
-        self.now = p.at;
-        Some((p.at, p.event))
-    }
-
-    /// Timestamp of the next event without popping it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(p)| p.at)
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// True when no events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
-    enum Ev {
-        A(u32),
-    }
-
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_micros(30), Ev::A(3));
-        q.schedule(SimTime::from_micros(10), Ev::A(1));
-        q.schedule(SimTime::from_micros(20), Ev::A(2));
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec![Ev::A(1), Ev::A(2), Ev::A(3)]);
-    }
-
-    #[test]
-    fn ties_are_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule(SimTime::from_micros(5), Ev::A(i));
-        }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Ev::A(i) => i,
-            })
-            .collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn clock_advances_to_popped_event() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_micros(42), Ev::A(0));
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_micros(42));
-    }
-
-    #[test]
-    fn scheduling_in_past_clamps_to_now() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_micros(100), Ev::A(0));
-        q.pop();
-        q.schedule(SimTime::from_micros(10), Ev::A(1));
-        let (t, _) = q.pop().unwrap();
-        assert_eq!(t, SimTime::from_micros(100));
-    }
-
-    #[test]
-    fn schedule_after_uses_current_time() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_micros(100), Ev::A(0));
-        q.pop();
-        q.schedule_after(SimDuration::from_micros(50), Ev::A(1));
-        let (t, _) = q.pop().unwrap();
-        assert_eq!(t, SimTime::from_micros(150));
-    }
-
-    #[test]
-    fn peek_does_not_advance() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_micros(7), Ev::A(0));
-        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
-        assert_eq!(q.now(), SimTime::ZERO);
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
-    }
-}

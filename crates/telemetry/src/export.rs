@@ -28,7 +28,8 @@ fn render_value(v: f64) -> String {
 
 /// Renders the registry's current state in the Prometheus text exposition
 /// format (version 0.0.4): `# HELP` and `# TYPE` per family, histograms
-/// as cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+/// as cumulative `_bucket{le=...}` series plus `_sum`, `_count` and the
+/// `_saturated` overflow flag (0/1).
 pub fn render_prometheus(registry: &MetricsRegistry) -> String {
     let mut out = String::new();
     registry.for_each_family(|name, help, kind, series| {
@@ -61,6 +62,15 @@ pub fn render_prometheus(registry: &MetricsRegistry) -> String {
                     let _ = writeln!(out, "{name}_bucket{} {}", braced("le=\"+Inf\""), h.count());
                     let _ = writeln!(out, "{name}_sum{} {}", braced(""), h.sum());
                     let _ = writeln!(out, "{name}_count{} {}", braced(""), h.count());
+                    // 1 once the sum has overflowed u64 (the `_sum` above
+                    // is pinned at the ceiling and the mean is floored) —
+                    // always emitted so dashboards can alert on it.
+                    let _ = writeln!(
+                        out,
+                        "{name}_saturated{} {}",
+                        braced(""),
+                        h.saturated() as u64
+                    );
                 }),
             }
         }
@@ -201,7 +211,7 @@ pub fn validate_prometheus(text: &str) -> Result<ExpositionStats, String> {
         let family = if types.contains_key(name) {
             name.to_string()
         } else {
-            let base = ["_bucket", "_sum", "_count"]
+            let base = ["_bucket", "_sum", "_count", "_saturated"]
                 .iter()
                 .find_map(|s| name.strip_suffix(s))
                 .ok_or_else(|| err(format!("sample '{name}' has no TYPE line")))?;
@@ -236,6 +246,11 @@ pub fn validate_prometheus(text: &str) -> Result<ExpositionStats, String> {
                     }
                 } else if name.ends_with("_count") {
                     hist_counts.insert((family.clone(), labels.to_string()), value);
+                } else if name.ends_with("_saturated") && value != 0.0 && value != 1.0 {
+                    // odlb-lint: allow(D03) — validator error message, not an exported artifact
+                    return Err(err(format!(
+                        "saturation flag '{name}' must be 0 or 1, got {value}"
+                    )));
                 }
             }
             _ => {}
@@ -476,7 +491,49 @@ mod tests {
         // Multi-label series keep every pair, `;`-joined.
         assert!(csv.contains("odlb_query_latency_us_count,class=app0#8;instance=inst0"));
         let rows = validate_csv(&csv).expect("valid csv");
-        assert_eq!(rows, 2 * (1 + 1 + 6));
+        assert_eq!(rows, 2 * (1 + 1 + 7));
+    }
+
+    /// Regression for the silent-saturation bug: a histogram whose sum
+    /// overflowed must say so in both expositions (pre-fix there was no
+    /// flag at all, so this sample line did not exist).
+    #[test]
+    fn saturation_flag_reaches_both_expositions() {
+        let mut reg = sample_registry();
+        let text = render_prometheus(&reg);
+        assert!(
+            text.contains("odlb_query_latency_us_saturated{class=\"app0#8\",instance=\"inst0\"} 0"),
+            "healthy histogram exposes a 0 flag:\n{text}"
+        );
+        validate_prometheus(&text).expect("0 flag is valid");
+        let h = reg.histogram(
+            "odlb_query_latency_us",
+            "Per-query latency (microseconds).",
+            &[("class", "app0#8"), ("instance", "inst0")],
+        );
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let text = render_prometheus(&reg);
+        assert!(
+            text.contains("odlb_query_latency_us_saturated{class=\"app0#8\",instance=\"inst0\"} 1"),
+            "saturated histogram raises the flag:\n{text}"
+        );
+        validate_prometheus(&text).expect("1 flag is valid");
+        reg.snapshot(10_000_000, 0);
+        let csv = render_csv(&reg);
+        assert!(
+            csv.contains("odlb_query_latency_us_saturated,class=app0#8;instance=inst0,1"),
+            "flag lands in the CSV time series:\n{csv}"
+        );
+        validate_csv(&csv).expect("csv with flag is valid");
+    }
+
+    #[test]
+    fn validator_rejects_non_boolean_saturation_flag() {
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"+Inf\"} 1\nh_sum 9\nh_count 1\nh_saturated 3\n";
+        let err = validate_prometheus(bad).unwrap_err();
+        assert!(err.contains("0 or 1"), "{err}");
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! and two histograms merge by adding bucket counts — which is what makes
 //! per-class × per-replica series aggregatable across instances.
 
+use odlb_sim::stats::nearest_rank;
+
 /// Default linear sub-buckets per power of two (`2^7 = 128`), giving a
 /// guaranteed relative rank error of `2^-7 < 0.8%`.
 pub const DEFAULT_GROUPING_POWER: u32 = 7;
@@ -30,8 +32,14 @@ pub struct LogLinearHistogram {
     buckets: Vec<u64>,
     /// Total recorded values (always the sum of `buckets`).
     count: u64,
-    /// Saturating sum of recorded values.
+    /// Sum of recorded values; pinned at `u64::MAX` once it overflows
+    /// (with `saturated` raised, so the collapse is never silent).
     sum: u64,
+    /// True once `sum` has overflowed. Sticky until [`Self::reset`];
+    /// merging a saturated histogram taints the destination. Surfaced
+    /// in the Prometheus/CSV exposition as the `_saturated` sample so a
+    /// quietly meaningless mean is visible downstream.
+    saturated: bool,
     /// Exact extrema (quantile(0.0) / quantile(1.0) are exact).
     min: u64,
     max: u64,
@@ -56,6 +64,7 @@ impl LogLinearHistogram {
             buckets: Vec::new(),
             count: 0,
             sum: 0,
+            saturated: false,
             min: u64::MAX,
             max: 0,
         }
@@ -93,7 +102,10 @@ impl LogLinearHistogram {
         }
         let shift = (index >> p) as u64 - 1;
         let m = (index - ((shift as usize) << p)) as u64;
-        ((m + 1) << shift) - 1
+        // Widen: for the topmost buckets `(m + 1) << shift` is exactly
+        // 2^64 and wrapped to 0 in u64, underflowing the `- 1` (a panic
+        // in debug, a bogus u64::MAX-wide bucket in release).
+        ((((m as u128 + 1) << shift) - 1).min(u64::MAX as u128)) as u64
     }
 
     /// Records one value.
@@ -112,7 +124,18 @@ impl LogLinearHistogram {
         }
         self.buckets[idx] += n;
         self.count += n;
-        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        // Checked, not saturating: the old silent saturation let the
+        // mean collapse near u64::MAX with no trace.
+        match value
+            .checked_mul(n)
+            .and_then(|add| self.sum.checked_add(add))
+        {
+            Some(sum) => self.sum = sum,
+            None => {
+                self.sum = u64::MAX;
+                self.saturated = true;
+            }
+        }
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -122,9 +145,17 @@ impl LogLinearHistogram {
         self.count
     }
 
-    /// Saturating sum of recorded values.
+    /// Sum of recorded values (`u64::MAX` once saturated — check
+    /// [`Self::saturated`] before trusting it or the mean).
     pub fn sum(&self) -> u64 {
         self.sum
+    }
+
+    /// True once the sum has overflowed `u64` (here or in a merged-in
+    /// histogram). The count and bucket quantiles stay exact; only the
+    /// sum and mean are floored.
+    pub fn saturated(&self) -> bool {
+        self.saturated
     }
 
     /// Exact minimum (`None` when empty).
@@ -158,7 +189,7 @@ impl LogLinearHistogram {
         if q == 0.0 {
             return Some(self.min);
         }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let rank = nearest_rank(q, self.count);
         let mut seen = 0u64;
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -186,7 +217,14 @@ impl LogLinearHistogram {
             *b += o;
         }
         self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
+        match self.sum.checked_add(other.sum) {
+            Some(sum) => self.sum = sum,
+            None => {
+                self.sum = u64::MAX;
+                self.saturated = true;
+            }
+        }
+        self.saturated |= other.saturated;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -196,6 +234,7 @@ impl LogLinearHistogram {
         self.buckets.iter_mut().for_each(|b| *b = 0);
         self.count = 0;
         self.sum = 0;
+        self.saturated = false;
         self.min = u64::MAX;
         self.max = 0;
     }
@@ -329,6 +368,91 @@ mod tests {
         assert_eq!(h.quantile(0.5), None);
         h.record(42);
         assert_eq!(h.quantile(1.0), Some(42));
+    }
+
+    /// Regression for the float-fragile rank (shared with
+    /// `Percentiles`): values below `2^p` are bucketed exactly, so p7 of
+    /// 1..=100 must be exactly 7 — the pre-fix `(q * count).ceil()`
+    /// computed `7.000000000000001` and picked rank 8.
+    #[test]
+    fn quantile_rank_is_exact_on_integer_boundaries() {
+        let mut h = LogLinearHistogram::new(7);
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.07), Some(7));
+        assert_eq!(h.quantile(0.55), Some(55));
+    }
+
+    /// Regression at the sum boundary: the pre-fix `saturating_add`
+    /// collapsed the mean silently; saturation must now raise the sticky
+    /// flag while counts and quantiles stay exact.
+    #[test]
+    fn sum_saturation_raises_the_flag() {
+        let mut h = LogLinearHistogram::default();
+        h.record(u64::MAX - 10);
+        assert!(!h.saturated(), "one large value fits exactly");
+        assert_eq!(h.sum(), u64::MAX - 10);
+        h.record(11);
+        assert!(h.saturated(), "crossing u64::MAX must be flagged");
+        assert_eq!(h.sum(), u64::MAX, "sum pins at the ceiling");
+        assert_eq!(h.count(), 2, "count stays exact");
+        assert_eq!(h.max(), Some(u64::MAX - 10));
+        // Sticky until reset.
+        h.record(1);
+        assert!(h.saturated());
+        h.reset();
+        assert!(!h.saturated(), "reset clears the flag");
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn record_n_saturates_on_the_multiply() {
+        let mut h = LogLinearHistogram::default();
+        // value * n overflows even though each fits individually.
+        h.record_n(u64::MAX / 2, 3);
+        assert!(h.saturated());
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_saturation_taints_and_detects_overflow() {
+        // Case 1: merging two unsaturated histograms whose sums overflow
+        // together.
+        let mut a = LogLinearHistogram::default();
+        let mut b = LogLinearHistogram::default();
+        a.record(u64::MAX - 5);
+        b.record(u64::MAX - 5);
+        assert!(!a.saturated() && !b.saturated());
+        a.merge(&b);
+        assert!(a.saturated(), "merge overflow must be flagged");
+        assert_eq!(a.sum(), u64::MAX);
+        // Case 2: merging an already-saturated histogram taints even
+        // when the checked add itself fits (0 + u64::MAX is exact).
+        let mut d = LogLinearHistogram::default();
+        d.record(u64::MAX);
+        d.record(u64::MAX);
+        assert!(d.saturated());
+        let mut empty = LogLinearHistogram::default();
+        empty.merge(&d);
+        assert!(empty.saturated(), "saturation propagates through merge");
+        assert_eq!(empty.sum(), u64::MAX);
+    }
+
+    /// Regression: the topmost bucket's upper bound is mathematically
+    /// `2^64 - 1`; computing it in u64 wrapped `(m+1) << shift` to zero
+    /// and panicked on the `- 1` in debug builds (bogus bound in
+    /// release), so any histogram holding a value near `u64::MAX` blew
+    /// up on export.
+    #[test]
+    fn top_bucket_upper_bound_does_not_overflow() {
+        let mut h = LogLinearHistogram::default();
+        h.record(u64::MAX);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets, vec![(u64::MAX, 1)]);
+        assert_eq!(h.quantile(0.5), Some(u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
     }
 
     #[test]

@@ -260,9 +260,10 @@ impl MetricsRegistry {
     }
 
     /// Current values of every series as deterministic export rows.
-    /// Histograms expand into `_count`, `_sum`, `_p50`, `_p95`, `_p99`
-    /// and `_max` rows (the summary columns a time series needs; the full
-    /// bucket layout only appears in the Prometheus exposition).
+    /// Histograms expand into `_count`, `_sum`, `_saturated` (0/1 sum
+    /// overflow flag), `_p50`, `_p95`, `_p99` and `_max` rows (the
+    /// summary columns a time series needs; the full bucket layout only
+    /// appears in the Prometheus exposition).
     pub fn sample_rows(&self) -> Vec<SampleRow> {
         let mut rows = Vec::new();
         for (name, fam) in &self.families {
@@ -284,6 +285,7 @@ impl MetricsRegistry {
                         for (suffix, value) in [
                             ("_count", h.count() as f64),
                             ("_sum", h.sum() as f64),
+                            ("_saturated", h.saturated() as u64 as f64),
                             ("_p50", q(0.50)),
                             ("_p95", q(0.95)),
                             ("_p99", q(0.99)),
@@ -406,6 +408,7 @@ mod tests {
             vec![
                 "lat_us_count",
                 "lat_us_sum",
+                "lat_us_saturated",
                 "lat_us_p50",
                 "lat_us_p95",
                 "lat_us_p99",
@@ -413,7 +416,8 @@ mod tests {
             ]
         );
         assert_eq!(rows[0].value, 100.0);
-        assert_eq!(rows[5].value, 100.0);
+        assert_eq!(rows[2].value, 0.0, "unsaturated flag renders 0");
+        assert_eq!(rows[6].value, 100.0);
     }
 
     #[test]

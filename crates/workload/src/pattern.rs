@@ -182,23 +182,33 @@ impl AccessPattern {
     /// their composites), which the engine locks exclusively.
     pub fn generate_with_prefix(&self, rng: &mut SimRng) -> (Vec<PageId>, usize) {
         let mut out = Vec::new();
-        let prefix = match self {
+        let prefix = self.generate_with_prefix_into(rng, &mut out);
+        (out, prefix)
+    }
+
+    /// Appends one query's accesses to `out` and returns the length of
+    /// the first component's contribution (see
+    /// [`AccessPattern::generate_with_prefix`]). `out` is not cleared —
+    /// the driver's hot path recycles page buffers through here, so
+    /// steady-state generation allocates nothing.
+    pub fn generate_with_prefix_into(&self, rng: &mut SimRng, out: &mut Vec<PageId>) -> usize {
+        let base = out.len();
+        match self {
             AccessPattern::Composite(parts) => {
                 if let Some(first) = parts.first() {
-                    first.generate_into(rng, &mut out);
+                    first.generate_into(rng, out);
                 }
-                let prefix = out.len();
+                let prefix = out.len() - base;
                 for p in parts.iter().skip(1) {
-                    p.generate_into(rng, &mut out);
+                    p.generate_into(rng, out);
                 }
                 prefix
             }
             _ => {
-                self.generate_into(rng, &mut out);
-                out.len()
+                self.generate_into(rng, out);
+                out.len() - base
             }
-        };
-        (out, prefix)
+        }
     }
 
     /// Expected pages per query (upper bound for scans), used for CPU

@@ -5,6 +5,7 @@ use crate::pattern::AccessPattern;
 use odlb_engine::QuerySpec;
 use odlb_metrics::{AppId, ClassId};
 use odlb_sim::{SimDuration, SimRng};
+use odlb_storage::PageId;
 
 /// One query class of an application.
 #[derive(Clone, Debug)]
@@ -66,23 +67,53 @@ impl WorkloadSpec {
         writes / total
     }
 
-    /// Samples a class index according to the mix weights.
+    /// Samples a class index according to the mix weights. Allocation-
+    /// free: the weighted draw ([`SimRng::weighted`] semantics — one
+    /// uniform draw scaled by the total, then a linear scan) runs
+    /// directly over the class list.
     pub fn sample_class(&self, rng: &mut SimRng) -> usize {
-        let weights: Vec<f64> = self.classes.iter().map(|c| c.weight).collect();
-        rng.weighted(&weights)
+        let total: f64 = self.classes.iter().map(|c| c.weight).sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = rng.f64() * total;
+        for (i, c) in self.classes.iter().enumerate() {
+            if x < c.weight {
+                return i;
+            }
+            x -= c.weight;
+        }
+        self.classes.len() - 1
     }
 
     /// Samples one executable query from the mix.
     pub fn sample_query(&self, rng: &mut SimRng) -> QuerySpec {
+        self.sample_query_into(rng, Vec::new())
+    }
+
+    /// [`WorkloadSpec::sample_query`] building the page list in a
+    /// recycled buffer (cleared first): the driver's hot path hands page
+    /// vectors of completed queries back through here, so steady-state
+    /// sampling performs no allocation.
+    pub fn sample_query_into(&self, rng: &mut SimRng, pages: Vec<PageId>) -> QuerySpec {
         let idx = self.sample_class(rng);
-        self.query_of_class(idx, rng)
+        self.query_of_class_into(idx, rng, pages)
     }
 
     /// Materialises one query of a specific class (used by experiments
     /// that drive a single class, e.g. the MRC harnesses).
     pub fn query_of_class(&self, idx: usize, rng: &mut SimRng) -> QuerySpec {
+        self.query_of_class_into(idx, rng, Vec::new())
+    }
+
+    /// [`WorkloadSpec::query_of_class`] with a recycled page buffer.
+    pub fn query_of_class_into(
+        &self,
+        idx: usize,
+        rng: &mut SimRng,
+        mut pages: Vec<PageId>,
+    ) -> QuerySpec {
+        pages.clear();
         let c = &self.classes[idx];
-        let (pages, prefix) = c.pattern.generate_with_prefix(rng);
+        let prefix = c.pattern.generate_with_prefix_into(rng, &mut pages);
         QuerySpec {
             class: self.class_id(idx),
             pages,
