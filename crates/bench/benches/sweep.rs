@@ -1,0 +1,83 @@
+//! Shared-trace memoization benchmark for the sweep jobserver: a
+//! controller-variant-only matrix (one seed, one workload, one cluster
+//! size, all four controller variants) runs once with trace memoization
+//! and once with it disabled (`--no-memo` semantics: every cell
+//! regenerates the schedule). Both paths produce byte-identical merged
+//! artifacts — pinned here and in `tests/sweep_resume.rs` — so the only
+//! difference is whether schedule generation is paid once per workload
+//! key or once per cell.
+//!
+//! The derived min-based speedup record merges into
+//! `BENCH_experiments.json` and is the acceptance gate (≥ 1.5x).
+
+use odlb_bench::harness::{black_box, Bench};
+use odlb_bench::sweep::{parse_matrix, run_sweep, SweepOptions};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// One seed, one workload, one cluster size, four controller variants:
+/// the matrix shape where memoization pays most — four cells, one
+/// workload key.
+const MATRIX: &str = r#"
+name = "variants"
+intervals = 4
+warmup = 1
+clients = 24
+seeds = [42]
+workloads = ["zipf"]
+controllers = ["selective", "cpu-only", "coarse", "vm-migration"]
+"#;
+
+/// Wipes and re-runs the whole sweep; every iteration starts cold so no
+/// `CELL_OK` cache survives into the timed body. Single worker on both
+/// sides: the bench isolates memoization, not parallelism.
+fn sweep_once(out_dir: &PathBuf, memo: bool) -> u64 {
+    let _ = std::fs::remove_dir_all(out_dir);
+    let spec = parse_matrix(MATRIX).expect("bench matrix parses");
+    let out = run_sweep(
+        &spec,
+        &SweepOptions {
+            jobs: 1,
+            out_dir: out_dir.clone(),
+            memo,
+            max_cells: None,
+        },
+    )
+    .expect("bench sweep runs");
+    assert_eq!(out.ran, 4, "all four variant cells must execute");
+    out.events
+}
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("odlb-sweep-bench-{}", std::process::id()));
+    let memo_dir = root.join("memo");
+    let cold_dir = root.join("cold");
+
+    // Pre-run for the element count (total simulated events per sweep —
+    // deterministic, identical on both paths).
+    let events = sweep_once(&memo_dir, true);
+
+    let mut merged = Bench::merged("experiments");
+    merged.bench_elements("sweep/memo_4variants", events, || {
+        black_box(sweep_once(&memo_dir, true))
+    });
+    merged.bench_elements("sweep/cold_4variants", events, || {
+        black_box(sweep_once(&cold_dir, false))
+    });
+
+    // Min-based ratio (noise-robust), stored in centi-x so the 1.5 gate
+    // survives integer storage. Skipped when a CLI filter excluded a side.
+    if let (Some(cold_ns), Some(memo_ns)) = (
+        merged.min_ns_of("sweep/cold_4variants"),
+        merged.min_ns_of("sweep/memo_4variants"),
+    ) {
+        let speedup = cold_ns as f64 / memo_ns.max(1) as f64;
+        merged.record_wall(
+            "sweep/memo_speedup_centi_x/4variants",
+            Duration::from_nanos((speedup * 100.0).round() as u64),
+        );
+        println!("sweep memo speedup over cold generation: {speedup:.2}x (gate: >=1.5x)");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}

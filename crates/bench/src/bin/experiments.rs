@@ -8,7 +8,23 @@
 //!              ablation-mrc-sampled|all]
 //!             [--jobs <N>] [--trace <path>] [--metrics <dir>]
 //!             [--profile-folded <path>] [--bench-json]
+//! experiments --list
+//! experiments sweep <matrix.toml> [--out <dir>] [--jobs <N>]
+//!             [--no-memo] [--max-cells <K>] [--bench-json]
 //! ```
+//!
+//! `--list` prints the figure/ablation registry (name, traced/counted
+//! flags, description) — the authoritative metadata sweep matrices and
+//! CI selections are authored against.
+//!
+//! `sweep <matrix.toml>` runs a parameter matrix as a resumable
+//! jobserver: cells are content-addressed under `<out>/cells/` (default
+//! `sweep-<name>/`), completed cells are skipped on restart, cells
+//! sharing a workload key replay one memoized schedule (`--no-memo`
+//! regenerates per cell), and `--max-cells <K>` stops resumably after
+//! `K` cells. Completed sweeps merge `sweep.csv` + `summary.txt` in
+//! canonical cell order, byte-identical at any `--jobs` count and
+//! across interrupt/resume. See EXPERIMENTS.md, "Parameter sweeps".
 //!
 //! Every figure is a self-contained job from the registry in
 //! `odlb_bench::suite`; `--jobs <N>` runs up to `N` of them concurrently
@@ -59,14 +75,15 @@
 //! fetch without racing the run.
 
 use odlb_bench::harness::Bench;
-use odlb_bench::{runner, suite};
+use odlb_bench::{runner, suite, sweep};
 use odlb_telemetry::{MetricsServer, SpanProfiler};
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut arg = String::new();
+    let mut positional: Vec<String> = Vec::new();
     let mut jobs: Option<usize> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_dir: Option<String> = None;
@@ -74,6 +91,10 @@ fn main() {
     let mut bench_json = false;
     let mut serve_port: Option<u16> = None;
     let mut serve_hold_ms: u64 = 0;
+    let mut list = false;
+    let mut sweep_out: Option<String> = None;
+    let mut no_memo = false;
+    let mut max_cells: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--jobs" {
@@ -125,16 +146,68 @@ fn main() {
             };
             serve_hold_ms = ms;
             i += 2;
-        } else if arg.is_empty() {
-            arg = args[i].clone();
+        } else if args[i] == "--list" {
+            list = true;
+            i += 1;
+        } else if args[i] == "--out" {
+            if i + 1 >= args.len() {
+                eprintln!("--out requires a directory");
+                std::process::exit(2);
+            }
+            sweep_out = Some(args[i + 1].clone());
+            i += 2;
+        } else if args[i] == "--no-memo" {
+            no_memo = true;
+            i += 1;
+        } else if args[i] == "--max-cells" {
+            let Some(n) = args
+                .get(i + 1)
+                .and_then(|p| p.parse().ok())
+                .filter(|&n: &usize| n > 0)
+            else {
+                eprintln!("--max-cells requires a positive cell count");
+                std::process::exit(2);
+            };
+            max_cells = Some(n);
+            i += 2;
+        } else if positional.len() < 2 {
+            positional.push(args[i].clone());
             i += 1;
         } else {
             eprintln!("unexpected argument '{}'", args[i]);
             std::process::exit(2);
         }
     }
-    if arg.is_empty() {
-        arg = "all".to_string();
+    if list {
+        print!("{}", suite::render_list());
+        return;
+    }
+    if positional.first().map(String::as_str) == Some("sweep") {
+        let Some(matrix_path) = positional.get(1) else {
+            eprintln!("usage: experiments sweep <matrix.toml> [--out <dir>] [--jobs <N>] [--no-memo] [--max-cells <K>] [--bench-json]");
+            std::process::exit(2);
+        };
+        run_sweep_command(
+            matrix_path,
+            jobs.unwrap_or_else(runner::default_jobs),
+            sweep_out,
+            no_memo,
+            max_cells,
+            bench_json,
+        );
+        return;
+    }
+    if sweep_out.is_some() || no_memo || max_cells.is_some() {
+        eprintln!("--out/--no-memo/--max-cells only apply to the sweep subcommand");
+        std::process::exit(2);
+    }
+    let arg = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    if let Some(extra) = positional.get(1) {
+        eprintln!("unexpected argument '{extra}'");
+        std::process::exit(2);
     }
     let Some(selection) = suite::resolve(&arg) else {
         eprintln!(
@@ -182,6 +255,7 @@ fn main() {
     let mut merged_profile = SpanProfiler::new();
     let mut instrumented_wall = Duration::ZERO;
     let mut any_profile = false;
+    let mut total_elements = 0u64;
     let mut bench = bench_json.then(|| Bench::collector("experiments"));
     let suite_start = std::time::Instant::now();
     suite::run_suite(&selection, &cfg, |out| {
@@ -200,6 +274,7 @@ fn main() {
             instrumented_wall += out.wall;
             any_profile = true;
         }
+        total_elements += out.elements;
         if let Some(b) = &mut bench {
             let name = format!("jobs={jobs}/{}", out.name);
             if out.elements > 0 {
@@ -233,14 +308,98 @@ fn main() {
         eprintln!("profile: wrote {path} ({} stacks)", folded.lines().count());
     }
     if let Some(b) = &mut bench {
-        b.record_wall(&format!("jobs={jobs}/total"), total_wall);
+        // Elements are the selection's total simulated events, so the
+        // suite-level events/sec is derivable from this one record.
+        b.record_wall_elements(&format!("jobs={jobs}/total"), total_wall, total_elements);
     }
     drop(bench); // a collector writes BENCH_experiments.json on drop
 
-    // Keep the endpoint up after the run until a scraper fetches the
-    // final exposition (bounded by --serve-hold), so an external check
-    // never races the run's completion.
-    if let Some(server) = &server {
+    hold_for_scrape(&server, serve_hold_ms);
+}
+
+/// `experiments sweep <matrix.toml>`: parses the matrix, runs (or
+/// resumes) the sweep on the ordered worker pool, prints the
+/// deterministic cell log plus completion lines, and with `--bench-json`
+/// merges per-cell wall clocks and the whole-sweep events/sec into
+/// `BENCH_experiments.json`. Stdout carries no wall-clock content, so a
+/// given starting state prints byte-identically at any `--jobs` count.
+fn run_sweep_command(
+    matrix_path: &str,
+    jobs: usize,
+    out_dir: Option<String>,
+    no_memo: bool,
+    max_cells: Option<usize>,
+    bench_json: bool,
+) {
+    let text = match std::fs::read_to_string(matrix_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{matrix_path}: cannot read: {e}");
+            std::process::exit(1);
+        }
+    };
+    let spec = match sweep::parse_matrix(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{matrix_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let out_dir = PathBuf::from(out_dir.unwrap_or_else(|| format!("sweep-{}", spec.name)));
+    let opts = sweep::SweepOptions {
+        jobs,
+        out_dir,
+        memo: !no_memo,
+        max_cells,
+    };
+    let start = std::time::Instant::now();
+    let outcome = match sweep::run_sweep(&spec, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall = start.elapsed();
+    print!("{}", outcome.log);
+    let dup = if outcome.duplicates > 0 {
+        format!(", {} duplicate configs dropped", outcome.duplicates)
+    } else {
+        String::new()
+    };
+    println!(
+        "sweep {}: {} cells ({} cached, {} ran{dup})",
+        spec.name, outcome.total_cells, outcome.skipped, outcome.ran
+    );
+    if outcome.interrupted {
+        println!("stopped by --max-cells before completion; re-run to resume");
+    } else {
+        println!(
+            "merged {} and {}",
+            outcome.csv_path.display(),
+            outcome.summary_path.display()
+        );
+        // Wall-derived throughput goes to stderr, keeping stdout
+        // byte-identical across runs.
+        eprintln!(
+            "sweep {}: {} simulated events in {:.2?}",
+            spec.name, outcome.events, wall
+        );
+    }
+    if bench_json {
+        let mut b = Bench::merged("experiments");
+        for (cell, cell_wall) in &outcome.cell_walls {
+            b.record_wall(&format!("sweep/{}/cell/{cell}", spec.name), *cell_wall);
+        }
+        b.record_wall_elements(&format!("sweep/{}/total", spec.name), wall, outcome.events);
+    }
+}
+
+/// Keeps the endpoint up after the run until a scraper fetches the
+/// final exposition (bounded by --serve-hold), so an external check
+/// never races the run's completion.
+fn hold_for_scrape(server: &Option<Rc<MetricsServer>>, serve_hold_ms: u64) {
+    if let Some(server) = server {
         if serve_hold_ms > 0 {
             println!(
                 "holding /metrics on 127.0.0.1:{} for up to {serve_hold_ms}ms (waiting for one scrape)",

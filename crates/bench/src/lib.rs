@@ -21,11 +21,14 @@
 //! [`suite::FigureOutput`], and [`runner`] provides the ordered worker
 //! pool that runs those jobs concurrently (`experiments --jobs N`) while
 //! committing outputs in canonical sequential order — a parallel run is
-//! byte-identical to a sequential one.
+//! byte-identical to a sequential one. [`sweep`] builds on the same pool:
+//! a resumable parameter-matrix jobserver (`experiments sweep`) with
+//! content-addressed cell caching and shared-trace memoization.
 
 pub mod experiments;
 pub mod harness;
 pub mod runner;
 pub mod suite;
+pub mod sweep;
 
 pub use experiments::*;

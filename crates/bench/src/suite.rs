@@ -19,6 +19,140 @@ use odlb_trace::{DigestSink, JsonlSink, Tracer};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+/// One registry entry: the authoritative metadata for a figure/ablation,
+/// printed by `experiments --list` and used for every job's banner title.
+#[derive(Clone, Copy, Debug)]
+pub struct FigureInfo {
+    /// Registry name (the CLI selector).
+    pub name: &'static str,
+    /// Banner title / one-line description.
+    pub title: &'static str,
+    /// Runs with a tracer attached (prints a run-digest line).
+    pub traced: bool,
+    /// Counts work units (`elements`) for the bench ledger.
+    pub counted: bool,
+    /// Included in the `all` selection (extras are CI-scale smoke runs
+    /// and the capacity sweep).
+    pub in_all: bool,
+}
+
+/// The registry, in canonical commit order: the `all` figures first
+/// (exactly [`ALL_FIGURES`]' order), then the extras.
+pub const REGISTRY: [FigureInfo; 16] = [
+    FigureInfo {
+        name: "fig5",
+        title: "Fig. 5 — MRC of BestSeller (normal configuration); paper: acceptable 6982 pages",
+        traced: false,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "fig6",
+        title: "Fig. 6 — MRC of SearchItemsByRegion; paper: acceptable 7906 pages",
+        traced: false,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "table1",
+        title: "Table 1 — buffer pool management algorithms (index dropped)",
+        traced: false,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "fig3",
+        title: "Fig. 3 — CPU saturation under sinusoid load",
+        traced: true,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "fig4",
+        title: "Fig. 4 — dropping the O_DATE index",
+        traced: true,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "table2",
+        title: "Table 2 — memory contention in a shared buffer pool",
+        traced: false,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "table3",
+        title: "Table 3 — I/O contention among VM domains",
+        traced: false,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "ablation-fences",
+        title: "Ablation A1 — fence multiplier sensitivity",
+        traced: false,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "ablation-weights",
+        title: "Ablation A2 — impact weighting",
+        traced: false,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "ablation-coarse",
+        title: "Ablation A3 — fine-grained vs coarse-grained vs CPU-only",
+        traced: false,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "ablation-mrc-threshold",
+        title: "Ablation A4 — MRC acceptability threshold vs BestSeller quota",
+        traced: false,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "ablation-mrc-approx",
+        title: "Ablation A5 — exact Mattson vs bucketed approximation",
+        traced: false,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "ablation-mrc-sampled",
+        title: "Ablation A6 — exact Mattson vs SHARDS-style sampled tracker",
+        traced: false,
+        counted: false,
+        in_all: true,
+    },
+    FigureInfo {
+        name: "fig3-mini",
+        title: "Fig. 3 (miniature smoke run) — CPU saturation under sinusoid load",
+        traced: true,
+        counted: false,
+        in_all: false,
+    },
+    FigureInfo {
+        name: "fig-scale",
+        title: "fig-scale — event hot-path scaling: 112 replicas, 1M resident sessions",
+        traced: true,
+        counted: true,
+        in_all: false,
+    },
+    FigureInfo {
+        name: "fig-scale-mini",
+        title: "fig-scale (miniature smoke run) — event hot-path scaling",
+        traced: true,
+        counted: true,
+        in_all: false,
+    },
+];
+
 /// Canonical figure order: what `all` runs, and the order outputs are
 /// committed in at any job count.
 pub const ALL_FIGURES: [&str; 13] = [
@@ -40,6 +174,35 @@ pub const ALL_FIGURES: [&str; 13] = [
 /// Selectable figures that `all` does not include: the CI-scale fig3
 /// smoke run and the event hot-path scaling sweep (full and CI-scale).
 const EXTRA_FIGURES: [&str; 3] = ["fig3-mini", "fig-scale", "fig-scale-mini"];
+
+/// Looks up a registry entry by name.
+pub fn figure_info(name: &str) -> Option<&'static FigureInfo> {
+    REGISTRY.iter().find(|i| i.name == name)
+}
+
+/// Renders the registry table behind `experiments --list`: one line per
+/// figure/ablation with its traced/counted flags and description, so
+/// sweep matrices and CI selections can be authored against the real
+/// registry.
+pub fn render_list() -> String {
+    let yn = |b: bool| if b { "yes" } else { "-" };
+    let mut out = String::from("experiments registry (canonical commit order; extras last):\n\n");
+    out.push_str(&format!(
+        "{:<24} {:>6} {:>7} {:>5}  description\n",
+        "name", "traced", "counted", "all"
+    ));
+    for info in &REGISTRY {
+        out.push_str(&format!(
+            "{:<24} {:>6} {:>7} {:>5}  {}\n",
+            info.name,
+            yn(info.traced),
+            yn(info.counted),
+            yn(info.in_all),
+            info.title
+        ));
+    }
+    out
+}
 
 /// Resolves a command-line selector into the figures it runs: `all`
 /// expands to [`ALL_FIGURES`], the extra figures (`fig3-mini`,
@@ -252,106 +415,42 @@ fn traced_counted(
     })
 }
 
-/// Builds the job for one registry name. Callers resolve names through
+/// Builds the job for one registry name; titles come from [`REGISTRY`],
+/// the same metadata `--list` prints. Callers resolve names through
 /// [`resolve`] first; an unknown name here is a programming error.
 fn figure_job(name: &'static str, cfg: &SuiteConfig, multiple: bool) -> Job<FigureOutput> {
+    let title = figure_info(name)
+        .unwrap_or_else(|| panic!("figure '{name}' missing from REGISTRY"))
+        .title;
     match name {
-        "fig5" => plain(
-            name,
-            "Fig. 5 — MRC of BestSeller (normal configuration); paper: acceptable 6982 pages",
-            fig5::figure,
-        ),
-        "fig6" => plain(
-            name,
-            "Fig. 6 — MRC of SearchItemsByRegion; paper: acceptable 7906 pages",
-            fig6::figure,
-        ),
-        "table1" => plain(
-            name,
-            "Table 1 — buffer pool management algorithms (index dropped)",
-            table1::figure,
-        ),
-        "fig3" => traced(
-            name,
-            "Fig. 3 — CPU saturation under sinusoid load",
-            cfg,
-            multiple,
-            |t, tel, p| fig3::render(&fig3::figure_instrumented(t, tel, p)),
-        ),
-        "fig3-mini" => traced(
-            name,
-            "Fig. 3 (miniature smoke run) — CPU saturation under sinusoid load",
-            cfg,
-            multiple,
-            |t, tel, p| fig3::render(&fig3::figure_mini_instrumented(t, tel, p)),
-        ),
-        "fig-scale" => traced_counted(
-            name,
-            "fig-scale — event hot-path scaling: 112 replicas, 1M resident sessions",
-            cfg,
-            multiple,
-            |t, tel, p| {
-                let r = scale::figure_instrumented(t, tel, p);
-                (scale::render(&r), r.total_events())
-            },
-        ),
-        "fig-scale-mini" => traced_counted(
-            name,
-            "fig-scale (miniature smoke run) — event hot-path scaling",
-            cfg,
-            multiple,
-            |t, tel, p| {
-                let r = scale::figure_mini_instrumented(t, tel, p);
-                (scale::render(&r), r.total_events())
-            },
-        ),
-        "fig4" => traced(
-            name,
-            "Fig. 4 — dropping the O_DATE index",
-            cfg,
-            multiple,
-            |t, tel, p| fig4::render(&fig4::figure_instrumented(t, tel, p)),
-        ),
-        "table2" => plain(
-            name,
-            "Table 2 — memory contention in a shared buffer pool",
-            table2::figure,
-        ),
-        "table3" => plain(
-            name,
-            "Table 3 — I/O contention among VM domains",
-            table3::figure,
-        ),
-        "ablation-fences" => plain(
-            name,
-            "Ablation A1 — fence multiplier sensitivity",
-            ablations::figure_fences,
-        ),
-        "ablation-weights" => plain(
-            name,
-            "Ablation A2 — impact weighting",
-            ablations::figure_weights,
-        ),
-        "ablation-coarse" => plain(
-            name,
-            "Ablation A3 — fine-grained vs coarse-grained vs CPU-only",
-            ablations::figure_coarse,
-        ),
-        "ablation-mrc-threshold" => plain(
-            name,
-            "Ablation A4 — MRC acceptability threshold vs BestSeller quota",
-            ablations::figure_threshold,
-        ),
-        "ablation-mrc-approx" => plain(
-            name,
-            "Ablation A5 — exact Mattson vs bucketed approximation",
-            ablations::figure_tracker,
-        ),
-        "ablation-mrc-sampled" => plain(
-            name,
-            "Ablation A6 — exact Mattson vs SHARDS-style sampled tracker",
-            sampled::figure,
-        ),
+        "fig5" => plain(name, title, fig5::figure),
+        "fig6" => plain(name, title, fig6::figure),
+        "table1" => plain(name, title, table1::figure),
+        "fig3" => traced(name, title, cfg, multiple, |t, tel, p| {
+            fig3::render(&fig3::figure_instrumented(t, tel, p))
+        }),
+        "fig3-mini" => traced(name, title, cfg, multiple, |t, tel, p| {
+            fig3::render(&fig3::figure_mini_instrumented(t, tel, p))
+        }),
+        "fig-scale" => traced_counted(name, title, cfg, multiple, |t, tel, p| {
+            let r = scale::figure_instrumented(t, tel, p);
+            (scale::render(&r), r.total_events())
+        }),
+        "fig-scale-mini" => traced_counted(name, title, cfg, multiple, |t, tel, p| {
+            let r = scale::figure_mini_instrumented(t, tel, p);
+            (scale::render(&r), r.total_events())
+        }),
+        "fig4" => traced(name, title, cfg, multiple, |t, tel, p| {
+            fig4::render(&fig4::figure_instrumented(t, tel, p))
+        }),
+        "table2" => plain(name, title, table2::figure),
+        "table3" => plain(name, title, table3::figure),
+        "ablation-fences" => plain(name, title, ablations::figure_fences),
+        "ablation-weights" => plain(name, title, ablations::figure_weights),
+        "ablation-coarse" => plain(name, title, ablations::figure_coarse),
+        "ablation-mrc-threshold" => plain(name, title, ablations::figure_threshold),
+        "ablation-mrc-approx" => plain(name, title, ablations::figure_tracker),
+        "ablation-mrc-sampled" => plain(name, title, sampled::figure),
         other => panic!("unknown figure '{other}' (resolve() admits selections)"),
     }
 }
@@ -364,6 +463,43 @@ mod tests {
     fn resolve_expands_all_in_canonical_order() {
         let all = resolve("all").unwrap();
         assert_eq!(all, ALL_FIGURES.to_vec());
+    }
+
+    #[test]
+    fn registry_matches_selection_tables_exactly() {
+        // REGISTRY is ALL_FIGURES then EXTRA_FIGURES, in order, with
+        // in_all flags matching — the `--list` output and the CLI
+        // selectors can never drift apart.
+        let names: Vec<&str> = REGISTRY.iter().map(|i| i.name).collect();
+        let expected: Vec<&str> = ALL_FIGURES.into_iter().chain(EXTRA_FIGURES).collect();
+        assert_eq!(names, expected);
+        for info in &REGISTRY {
+            assert_eq!(
+                info.in_all,
+                ALL_FIGURES.contains(&info.name),
+                "{}",
+                info.name
+            );
+            assert!(
+                !info.counted || info.traced,
+                "{}: counted figures run through traced_counted",
+                info.name
+            );
+            assert!(!info.title.is_empty());
+        }
+    }
+
+    #[test]
+    fn render_list_covers_every_registry_row() {
+        let list = render_list();
+        for info in &REGISTRY {
+            assert!(
+                list.lines().any(|l| l.starts_with(info.name)),
+                "{} row missing",
+                info.name
+            );
+            assert!(list.contains(info.title), "{} title missing", info.name);
+        }
     }
 
     #[test]

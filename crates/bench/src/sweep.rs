@@ -1,0 +1,981 @@
+//! `experiments sweep` — the resumable parameter-matrix jobserver.
+//!
+//! A sweep turns a declarative matrix (seeds × replica counts × workload
+//! mixes × MRC modes × controller variants, parsed from a small TOML
+//! subset by [`parse_matrix`]) into cells that run on the ordered-commit
+//! worker pool ([`crate::runner::run_ordered`]): cells *execute* in any
+//! order on any worker but *commit* in canonical matrix order, so every
+//! artifact is byte-identical at any `--jobs` count. Three layers make it
+//! a jobserver rather than a for-loop:
+//!
+//! 1. **Content-addressed cells** — each cell's directory under
+//!    `<out>/cells/` is named by the FNV-1a hash of its canonicalized
+//!    config ([`CellConfig::canonical`]); a completed cell writes a
+//!    `CELL_OK` manifest (canonical config, hash, run digest, row count,
+//!    summary line). A restarted sweep validates manifests and skips every
+//!    completed cell: interrupted studies resume in O(remaining).
+//! 2. **Shared-trace memoization** — cells agreeing on the workload key
+//!    ([`CellConfig::trace_key`]: seed, workload mix, cluster size,
+//!    clients, horizon) but differing only in controller/MRC variant
+//!    replay one pregenerated open-loop schedule
+//!    ([`odlb_workload::generate_schedule`]) behind an `Arc`. Generation
+//!    is a large fraction of short-cell wall time; with memoization it is
+//!    paid once per key instead of once per cell. `--no-memo` regenerates
+//!    per cell — byte-parity between the two paths is pinned by tests.
+//! 3. **Deterministic merge** — `sweep.csv` (long format, one row per
+//!    cell-interval) and `summary.txt` (one line per cell) are assembled
+//!    from the on-disk cell artifacts in canonical order, so a resumed
+//!    sweep reproduces an uninterrupted one byte for byte.
+//!
+//! Simulated results never mix with wall-clock content: cell CSV rows and
+//! manifests carry simulation-derived values only, while per-cell wall
+//! clocks and the whole-sweep events/sec ride out of band in
+//! [`SweepOutcome`] for the bench ledger (`BENCH_experiments.json`).
+
+use crate::runner::{run_ordered, Job};
+use odlb_cluster::{Simulation, SimulationConfig};
+use odlb_core::{
+    ClusterController, CoarseGrainedController, ControllerConfig, CpuOnlyController,
+    SelectiveRetuningController, VmMigrationController,
+};
+use odlb_engine::EngineConfig;
+use odlb_metrics::{AppId, Sla};
+use odlb_mrc::MrcMode;
+use odlb_sim::SimDuration;
+use odlb_storage::{DomainId, SpaceId};
+use odlb_trace::{fnv1a64, DigestSink, Tracer};
+use odlb_workload::rubis::{rubis_workload, RubisConfig};
+use odlb_workload::tpcw::{tpcw_workload, TpcwConfig};
+use odlb_workload::{
+    generate_schedule, AccessPattern, ClientConfig, GeneratedSchedule, LoadFunction,
+    QueryClassSpec, ScheduleConfig, WorkloadSpec,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workload mixes a matrix may reference.
+pub const WORKLOADS: [&str; 3] = ["tpcw", "rubis", "zipf"];
+
+/// Controller variants a matrix may reference.
+pub const CONTROLLERS: [&str; 4] = ["selective", "cpu-only", "coarse", "vm-migration"];
+
+/// The measurement interval every cell runs on (the driver default).
+const INTERVAL: SimDuration = SimDuration::from_secs(10);
+/// The load-update tick every cell (and schedule) runs on.
+const TICK: SimDuration = SimDuration::from_secs(2);
+
+/// Header of the merged long-format `sweep.csv`.
+pub const CSV_HEADER: &str =
+    "cell,seed,replicas,workload,mrc,controller,interval,latency_ms,throughput_qps,\
+     sla_ok,actions,machines\n";
+
+/// One parsed sweep matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixSpec {
+    /// Sweep name (labels bench records and the summary).
+    pub name: String,
+    /// Measurement intervals per cell.
+    pub intervals: usize,
+    /// Leading intervals during which the controller stays passive.
+    pub warmup: usize,
+    /// Offered load (constant client count).
+    pub clients: usize,
+    /// Seed axis.
+    pub seeds: Vec<u64>,
+    /// Replica-count axis (one instance per server).
+    pub replicas: Vec<usize>,
+    /// Workload-mix axis (members of [`WORKLOADS`]).
+    pub workloads: Vec<String>,
+    /// MRC-mode axis.
+    pub mrc: Vec<CellMrc>,
+    /// Controller axis (members of [`CONTROLLERS`]).
+    pub controllers: Vec<String>,
+}
+
+/// An MRC tracker selection, canonicalised for hashing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CellMrc {
+    /// Exact Mattson.
+    Exact,
+    /// Geometric buckets.
+    Bucketed,
+    /// SHARDS-style sampling at the given rate.
+    Sampled(f64),
+}
+
+impl CellMrc {
+    /// Parses `exact`, `bucketed`, or `sampled:<rate>`.
+    pub fn parse(s: &str) -> Result<CellMrc, String> {
+        match s {
+            "exact" => Ok(CellMrc::Exact),
+            "bucketed" => Ok(CellMrc::Bucketed),
+            _ => {
+                let rate = s
+                    .strip_prefix("sampled:")
+                    .and_then(|r| r.parse::<f64>().ok())
+                    .ok_or_else(|| format!("bad mrc '{s}' (exact | bucketed | sampled:<rate>)"))?;
+                if !(rate > 0.0 && rate <= 1.0) {
+                    return Err(format!("sampled rate {rate} outside (0, 1]"));
+                }
+                Ok(CellMrc::Sampled(rate))
+            }
+        }
+    }
+
+    /// The canonical spelling (stable under re-parsing; rates rendered
+    /// at fixed precision so hashing never sees float-formatting drift).
+    pub fn canonical(&self) -> String {
+        match self {
+            CellMrc::Exact => "exact".to_string(),
+            CellMrc::Bucketed => "bucketed".to_string(),
+            CellMrc::Sampled(rate) => format!("sampled:{rate:.4}"),
+        }
+    }
+
+    /// The tracker mode handed to the controller.
+    pub fn mode(&self) -> MrcMode {
+        match self {
+            CellMrc::Exact => MrcMode::Exact,
+            CellMrc::Bucketed => MrcMode::Bucketed,
+            CellMrc::Sampled(rate) => MrcMode::Sampled { rate: *rate },
+        }
+    }
+}
+
+/// One fully resolved cell of the matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellConfig {
+    /// Root seed (drives the schedule and the simulation).
+    pub seed: u64,
+    /// Servers, each hosting one replica instance.
+    pub replicas: usize,
+    /// Workload mix name.
+    pub workload: String,
+    /// MRC tracker selection.
+    pub mrc: CellMrc,
+    /// Controller variant name.
+    pub controller: String,
+    /// Measurement intervals.
+    pub intervals: usize,
+    /// Passive warm-up intervals.
+    pub warmup: usize,
+    /// Offered load (clients).
+    pub clients: usize,
+}
+
+impl CellConfig {
+    /// The canonical config string: `key=value` pairs, keys sorted, one
+    /// spelling per value. Equal configs hash equal; different configs
+    /// differ textually.
+    pub fn canonical(&self) -> String {
+        format!(
+            "clients={};controller={};intervals={};mrc={};replicas={};seed={};warmup={};workload={}",
+            self.clients,
+            self.controller,
+            self.intervals,
+            self.mrc.canonical(),
+            self.replicas,
+            self.seed,
+            self.warmup,
+            self.workload,
+        )
+    }
+
+    /// FNV-1a of the canonical config — the cell's content address.
+    /// (Named distinctly from `Hash::hash` so lint call-graph method
+    /// resolution, which unions all methods sharing a name, does not
+    /// conflate it with hasher plumbing elsewhere in the workspace.)
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(self.canonical().as_bytes())
+    }
+
+    /// The cell directory name under `<out>/cells/`.
+    pub fn dir_name(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+
+    /// The workload key: the subset of the config the generated schedule
+    /// depends on. Cells sharing it differ only in controller/MRC
+    /// variant and replay one memoized schedule.
+    pub fn trace_key(&self) -> String {
+        format!(
+            "clients={};intervals={};replicas={};seed={};workload={}",
+            self.clients, self.intervals, self.replicas, self.seed, self.workload,
+        )
+    }
+}
+
+/// Strips a `#` comment (quote-aware) and trims.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return line[..i].trim(),
+            _ => {}
+        }
+    }
+    line.trim()
+}
+
+/// Parses one TOML value from the subset the matrix format uses:
+/// integers, `"strings"`, and flat arrays of either.
+fn parse_values(key: &str, raw: &str) -> Result<Vec<String>, String> {
+    let items: Vec<&str> = if let Some(inner) = raw.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| format!("{key}: unterminated array"))?;
+        inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect()
+    } else {
+        vec![raw]
+    };
+    items
+        .into_iter()
+        .map(|item| {
+            if let Some(s) = item.strip_prefix('"') {
+                s.strip_suffix('"')
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{key}: unterminated string {item}"))
+            } else if item.chars().all(|c| c.is_ascii_digit()) && !item.is_empty() {
+                Ok(item.to_string())
+            } else {
+                Err(format!("{key}: unsupported value '{item}'"))
+            }
+        })
+        .collect()
+}
+
+/// Parses a sweep matrix from the TOML subset: top-level `key = value`
+/// lines, `#` comments, integer/string scalars and flat arrays. Unknown
+/// keys and section headers are errors — a typoed axis must not silently
+/// produce the default matrix.
+pub fn parse_matrix(text: &str) -> Result<MatrixSpec, String> {
+    let mut spec = MatrixSpec {
+        name: "sweep".to_string(),
+        intervals: 6,
+        warmup: 2,
+        clients: 24,
+        seeds: vec![42],
+        replicas: vec![1],
+        workloads: vec!["tpcw".to_string()],
+        mrc: vec![CellMrc::Exact],
+        controllers: vec!["selective".to_string()],
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {}: sections are not part of the matrix format; use top-level keys",
+                lineno + 1
+            ));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+        let (key, value) = (key.trim(), value.trim());
+        let vals = parse_values(key, value).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let single = || -> Result<&String, String> {
+            if vals.len() == 1 {
+                Ok(&vals[0])
+            } else {
+                Err(format!("line {}: {key} takes one value", lineno + 1))
+            }
+        };
+        let usize_of = |v: &str| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("line {}: {key}: bad integer '{v}'", lineno + 1))
+        };
+        match key {
+            "name" => spec.name = single()?.clone(),
+            "intervals" => spec.intervals = usize_of(single()?)?,
+            "warmup" => spec.warmup = usize_of(single()?)?,
+            "clients" => spec.clients = usize_of(single()?)?,
+            "seeds" => {
+                spec.seeds = vals
+                    .iter()
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map_err(|_| format!("line {}: seeds: bad integer '{v}'", lineno + 1))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "replicas" => {
+                spec.replicas = vals.iter().map(|v| usize_of(v)).collect::<Result<_, _>>()?;
+            }
+            "workloads" => spec.workloads = vals,
+            "mrc" => {
+                spec.mrc = vals
+                    .iter()
+                    .map(|v| CellMrc::parse(v))
+                    .collect::<Result<_, _>>()?;
+            }
+            "controllers" => spec.controllers = vals,
+            other => return Err(format!("line {}: unknown key '{other}'", lineno + 1)),
+        }
+    }
+    validate(&spec)?;
+    Ok(spec)
+}
+
+fn validate(spec: &MatrixSpec) -> Result<(), String> {
+    if spec.intervals == 0 {
+        return Err("intervals must be at least 1".to_string());
+    }
+    if spec.warmup >= spec.intervals {
+        return Err(format!(
+            "warmup {} must be below intervals {}",
+            spec.warmup, spec.intervals
+        ));
+    }
+    if spec.clients == 0 {
+        return Err("clients must be at least 1".to_string());
+    }
+    for (axis, values) in [
+        ("seeds", spec.seeds.len()),
+        ("replicas", spec.replicas.len()),
+        ("workloads", spec.workloads.len()),
+        ("mrc", spec.mrc.len()),
+        ("controllers", spec.controllers.len()),
+    ] {
+        if values == 0 {
+            return Err(format!("axis '{axis}' is empty"));
+        }
+    }
+    if spec.replicas.contains(&0) {
+        return Err("replicas values must be at least 1".to_string());
+    }
+    for w in &spec.workloads {
+        if !WORKLOADS.contains(&w.as_str()) {
+            return Err(format!("unknown workload '{w}' (valid: {WORKLOADS:?})"));
+        }
+    }
+    for c in &spec.controllers {
+        if !CONTROLLERS.contains(&c.as_str()) {
+            return Err(format!("unknown controller '{c}' (valid: {CONTROLLERS:?})"));
+        }
+    }
+    Ok(())
+}
+
+/// Expands the matrix into cells in canonical order (seeds outermost,
+/// controllers innermost) and drops exact-duplicate configs (repeated
+/// axis values), reporting how many were dropped.
+pub fn expand(spec: &MatrixSpec) -> (Vec<CellConfig>, usize) {
+    let mut cells = Vec::new();
+    let mut seen = BTreeMap::new();
+    let mut duplicates = 0;
+    for &seed in &spec.seeds {
+        for &replicas in &spec.replicas {
+            for workload in &spec.workloads {
+                for &mrc in &spec.mrc {
+                    for controller in &spec.controllers {
+                        let cell = CellConfig {
+                            seed,
+                            replicas,
+                            workload: workload.clone(),
+                            mrc,
+                            controller: controller.clone(),
+                            intervals: spec.intervals,
+                            warmup: spec.warmup,
+                            clients: spec.clients,
+                        };
+                        if seen.insert(cell.canonical(), ()).is_some() {
+                            duplicates += 1;
+                        } else {
+                            cells.push(cell);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (cells, duplicates)
+}
+
+/// A generation-heavy synthetic mix: each query models a nested-loop
+/// index join whose probes each target their own Zipf popularity
+/// distribution, so every generated page pays a sampler *construction*
+/// (rejection-inversion setup, ~10 transcendentals) on top of the draw,
+/// while execution replays hot hits against a small resident table. This
+/// is the regime where shared-trace memoization pays most — the speedup
+/// gate in `benches/sweep.rs` runs a controller-variant matrix on it.
+fn zipf_heavy_workload() -> WorkloadSpec {
+    let space = SpaceId(0);
+    let us = SimDuration::from_micros;
+    WorkloadSpec {
+        name: "zipf-heavy".to_string(),
+        app: AppId(0),
+        classes: vec![
+            QueryClassSpec {
+                name: "ZipfJoinRead",
+                sql: "SELECT … FROM f JOIN d1 … JOIN d48 WHERE f.k = ?",
+                weight: 0.97,
+                pattern: AccessPattern::Composite(
+                    (0..128)
+                        .map(|_| AccessPattern::ZipfLookup {
+                            space,
+                            table_pages: 512,
+                            exponent: 1.9,
+                            count: 1,
+                        })
+                        .collect(),
+                ),
+                cpu_base: us(40),
+                cpu_per_page: us(1),
+                is_write: false,
+            },
+            QueryClassSpec {
+                name: "ZipfWrite",
+                sql: "UPDATE kv SET v = ? WHERE k = ?",
+                weight: 0.03,
+                pattern: AccessPattern::Composite(
+                    (0..16)
+                        .map(|_| AccessPattern::ZipfLookup {
+                            space,
+                            table_pages: 512,
+                            exponent: 1.9,
+                            count: 1,
+                        })
+                        .collect(),
+                ),
+                cpu_base: us(60),
+                cpu_per_page: us(1),
+                is_write: true,
+            },
+        ],
+    }
+}
+
+/// Materialises a workload mix by name (names validated at parse time).
+fn cell_workload(name: &str) -> WorkloadSpec {
+    match name {
+        "tpcw" => tpcw_workload(TpcwConfig::default()),
+        "rubis" => rubis_workload(RubisConfig::default()),
+        "zipf" => zipf_heavy_workload(),
+        other => panic!("unvalidated workload '{other}'"),
+    }
+}
+
+/// The schedule configuration of a cell — a pure function of its
+/// [`CellConfig::trace_key`] fields, so memoized schedules are safe to
+/// share across controller/MRC variants.
+fn schedule_config(cell: &CellConfig) -> ScheduleConfig {
+    ScheduleConfig {
+        seed: cell.seed,
+        horizon: SimDuration::from_micros(INTERVAL.as_micros() * cell.intervals as u64),
+        load: LoadFunction::Constant(cell.clients),
+        client: ClientConfig::default(),
+        tick: TICK,
+    }
+}
+
+fn cell_controller(cell: &CellConfig) -> Box<dyn ClusterController> {
+    match cell.controller.as_str() {
+        "selective" => Box::new(SelectiveRetuningController::new(ControllerConfig {
+            mrc_mode: cell.mrc.mode(),
+            ..Default::default()
+        })),
+        "cpu-only" => Box::new(CpuOnlyController::new(0.85, 3)),
+        "coarse" => Box::new(CoarseGrainedController::new(3)),
+        "vm-migration" => Box::new(VmMigrationController::new(SimDuration::from_millis(500), 3)),
+        other => panic!("unvalidated controller '{other}'"),
+    }
+}
+
+/// Everything one executed cell produces. CSV rows and the summary line
+/// derive from simulation state only; the wall clock rides separately.
+struct CellResult {
+    rows: String,
+    row_count: usize,
+    digest: u64,
+    events: u64,
+    summary: String,
+    wall: Duration,
+}
+
+/// Runs one cell against a (shared or freshly generated) schedule.
+fn run_cell(cell: &CellConfig, schedule: Arc<GeneratedSchedule>) -> CellResult {
+    let mut sim = Simulation::new(SimulationConfig {
+        seed: cell.seed,
+        ..Default::default()
+    });
+    let mut instances = Vec::with_capacity(cell.replicas);
+    for _ in 0..cell.replicas {
+        let server = sim.add_server(4);
+        instances.push(sim.add_instance(server, DomainId(1), EngineConfig::default()));
+    }
+    let app = sim.add_replayed_app(cell_workload(&cell.workload), Sla::one_second(), schedule);
+    for inst in instances {
+        sim.assign_replica(app, inst);
+    }
+    let tracer = Tracer::new();
+    let digest = tracer.attach(DigestSink::new());
+    sim.set_tracer(tracer.clone());
+    let mut controller = cell_controller(cell);
+    controller.set_tracer(tracer.clone());
+    sim.start();
+
+    let id = cell.dir_name();
+    let mut rows = String::new();
+    let mut actions_total = 0usize;
+    let mut sla_met = 0usize;
+    let mut lat_weight = 0.0f64;
+    let mut tput_sum = 0.0f64;
+    let start = Instant::now();
+    for interval in 0..cell.intervals {
+        let outcome = sim.run_interval();
+        let actions = if interval >= cell.warmup {
+            controller.on_interval(&mut sim, &outcome).len()
+        } else {
+            0
+        };
+        actions_total += actions;
+        let latency_ms = outcome.app_latency[&app].map_or(f64::NAN, |l| l * 1e3);
+        let tput = outcome.app_throughput[&app];
+        let ok = !outcome.sla[&app].is_violation();
+        if ok {
+            sla_met += 1;
+        }
+        if interval >= cell.warmup && latency_ms.is_finite() {
+            lat_weight += latency_ms * tput;
+            tput_sum += tput;
+        }
+        let machines = sim.replicas_of(app).len();
+        rows.push_str(&format!(
+            "{id},{},{},{},{},{},{interval},{latency_ms:.3},{tput:.2},{},{actions},{machines}\n",
+            cell.seed,
+            cell.replicas,
+            cell.workload,
+            cell.mrc.canonical(),
+            cell.controller,
+            u8::from(ok),
+        ));
+    }
+    let wall = start.elapsed();
+    tracer.flush();
+    let (digest, events) = {
+        let d = digest.borrow();
+        (d.digest(), d.events())
+    };
+    let mean_lat = if tput_sum > 0.0 {
+        lat_weight / tput_sum
+    } else {
+        f64::NAN
+    };
+    let measured = cell.intervals - cell.warmup;
+    let summary = format!(
+        "{id}  {:<12} {:<14} {:>7.3} ms  {:>9.2} q/s  sla {sla_met}/{}  actions {actions_total:>3}  \
+         digest {digest:#018x}",
+        cell.controller,
+        cell.mrc.canonical(),
+        mean_lat,
+        tput_sum / measured.max(1) as f64,
+        cell.intervals,
+    );
+    CellResult {
+        rows,
+        row_count: cell.intervals,
+        digest,
+        events: sim.events_processed().max(events),
+        summary,
+        wall,
+    }
+}
+
+/// How a sweep invocation should run.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Worker threads for cell execution.
+    pub jobs: usize,
+    /// Output directory (cells live under `<out>/cells/`).
+    pub out_dir: PathBuf,
+    /// Shared-trace memoization (`false` = regenerate per cell).
+    pub memo: bool,
+    /// Stop (gracefully, resumably) after this many cells committed.
+    pub max_cells: Option<usize>,
+}
+
+/// What a sweep invocation produced.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Cells in the expanded (deduplicated) matrix.
+    pub total_cells: usize,
+    /// Exact-duplicate configs dropped during expansion.
+    pub duplicates: usize,
+    /// Cells skipped because a valid `CELL_OK` manifest existed.
+    pub skipped: usize,
+    /// Cells executed this invocation.
+    pub ran: usize,
+    /// True when `max_cells` stopped the sweep before completion (no
+    /// merge is written; re-run to resume).
+    pub interrupted: bool,
+    /// Total simulated events across all cells (merged sweeps only).
+    pub events: u64,
+    /// Per-cell status lines in canonical order. Deterministic for a
+    /// given starting state: no wall-clock content.
+    pub log: String,
+    /// Wall clock of every cell executed this invocation, keyed by cell
+    /// directory name, in commit order.
+    pub cell_walls: Vec<(String, Duration)>,
+    /// Path of the merged CSV (written unless interrupted).
+    pub csv_path: PathBuf,
+    /// Path of the merged summary table (written unless interrupted).
+    pub summary_path: PathBuf,
+}
+
+/// Parsed-back fields of a `CELL_OK` manifest.
+struct Manifest {
+    digest: u64,
+    events: u64,
+    summary: String,
+}
+
+fn manifest_text(cell: &CellConfig, res: &CellResult) -> String {
+    format!(
+        "canonical={}\nhash={}\ndigest={:#018x}\nevents={}\nrows={}\nsummary={}\n",
+        cell.canonical(),
+        cell.dir_name(),
+        res.digest,
+        res.events,
+        res.row_count,
+        res.summary,
+    )
+}
+
+/// Reads and validates a cell's manifest. `None` means "not completed":
+/// missing, truncated, or written for a different config (a content-hash
+/// collision in the directory name would surface here as a canonical
+/// mismatch and force a re-run).
+fn read_manifest(dir: &std::path::Path, cell: &CellConfig) -> Option<Manifest> {
+    let text = std::fs::read_to_string(dir.join("CELL_OK")).ok()?;
+    let mut fields: BTreeMap<&str, &str> = BTreeMap::new();
+    for line in text.lines() {
+        let (k, v) = line.split_once('=')?;
+        fields.insert(k, v);
+    }
+    if *fields.get("canonical")? != cell.canonical() || *fields.get("hash")? != cell.dir_name() {
+        return None;
+    }
+    let rows: usize = fields.get("rows")?.parse().ok()?;
+    let csv = std::fs::read_to_string(dir.join("cell.csv")).ok()?;
+    if csv.lines().count() != rows {
+        return None;
+    }
+    let digest = fields.get("digest")?.strip_prefix("0x")?;
+    Some(Manifest {
+        digest: u64::from_str_radix(digest, 16).ok()?,
+        events: fields.get("events")?.parse().ok()?,
+        summary: fields.get("summary")?.to_string(),
+    })
+}
+
+/// Runs (or resumes) a sweep. See the module docs for the layout and
+/// guarantees; errors are I/O problems with the output directory.
+pub fn run_sweep(spec: &MatrixSpec, opts: &SweepOptions) -> Result<SweepOutcome, String> {
+    let (cells, duplicates) = expand(spec);
+    let cells_dir = opts.out_dir.join("cells");
+    std::fs::create_dir_all(&cells_dir)
+        .map_err(|e| format!("{}: cannot create: {e}", cells_dir.display()))?;
+
+    // Resume scan: a valid manifest marks a cell done.
+    let mut done: Vec<Option<Manifest>> = cells
+        .iter()
+        .map(|c| read_manifest(&cells_dir.join(c.dir_name()), c))
+        .collect();
+    let skipped = done.iter().filter(|d| d.is_some()).count();
+    let mut pending: Vec<usize> = (0..cells.len()).filter(|&i| done[i].is_none()).collect();
+    let interrupted = opts.max_cells.is_some_and(|k| k < pending.len());
+    if let Some(k) = opts.max_cells {
+        pending.truncate(k);
+    }
+
+    // Memoized schedule generation, once per workload key, in first-use
+    // order. Generation happens up front on the commit thread so each
+    // worker replays a shared immutable schedule.
+    let mut schedules: BTreeMap<String, Arc<GeneratedSchedule>> = BTreeMap::new();
+    if opts.memo {
+        for &i in &pending {
+            let cell = &cells[i];
+            schedules.entry(cell.trace_key()).or_insert_with(|| {
+                Arc::new(generate_schedule(
+                    &cell_workload(&cell.workload),
+                    &schedule_config(cell),
+                ))
+            });
+        }
+    }
+
+    let jobs: Vec<Job<CellResult>> = pending
+        .iter()
+        .map(|&i| {
+            let cell = cells[i].clone();
+            let shared = schedules.get(&cell.trace_key()).cloned();
+            let job: Job<CellResult> = Box::new(move || {
+                let start = Instant::now();
+                // Cold path (--no-memo): generation is part of the cell,
+                // which is exactly the cost memoization removes.
+                let schedule = shared.unwrap_or_else(|| {
+                    Arc::new(generate_schedule(
+                        &cell_workload(&cell.workload),
+                        &schedule_config(&cell),
+                    ))
+                });
+                let mut res = run_cell(&cell, schedule);
+                res.wall = start.elapsed();
+                res
+            });
+            job
+        })
+        .collect();
+
+    let mut cell_walls = Vec::with_capacity(pending.len());
+    let mut io_error: Option<String> = None;
+    run_ordered(jobs, opts.jobs.max(1), |j, res| {
+        if io_error.is_some() {
+            return;
+        }
+        let i = pending[j];
+        let dir = cells_dir.join(cells[i].dir_name());
+        let commit = (|| -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            std::fs::write(dir.join("cell.csv"), &res.rows)?;
+            // The manifest is written last: its presence certifies the
+            // cell, so a crash between the two writes re-runs the cell.
+            std::fs::write(dir.join("CELL_OK"), manifest_text(&cells[i], &res))?;
+            Ok(())
+        })();
+        if let Err(e) = commit {
+            io_error = Some(format!("{}: cannot commit cell: {e}", dir.display()));
+            return;
+        }
+        cell_walls.push((cells[i].dir_name(), res.wall));
+        done[i] = Some(Manifest {
+            digest: res.digest,
+            events: res.events,
+            summary: res.summary.clone(),
+        });
+    });
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    let ran = cell_walls.len();
+
+    // Status log, canonical order, no wall-clock content.
+    let mut log = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let state = match &done[i] {
+            _ if pending.contains(&i) => "ran",
+            Some(_) => "cached",
+            None => "deferred",
+        };
+        let digest = done[i]
+            .as_ref()
+            .map_or("-".to_string(), |m| format!("{:#018x}", m.digest));
+        log.push_str(&format!(
+            "cell {} [{state:>8}] {}  digest {digest}\n",
+            cell.dir_name(),
+            cell.canonical(),
+        ));
+    }
+
+    let csv_path = opts.out_dir.join("sweep.csv");
+    let summary_path = opts.out_dir.join("summary.txt");
+    if interrupted {
+        return Ok(SweepOutcome {
+            total_cells: cells.len(),
+            duplicates,
+            skipped,
+            ran,
+            interrupted,
+            events: 0,
+            log,
+            cell_walls,
+            csv_path,
+            summary_path,
+        });
+    }
+
+    // Deterministic merge: every artifact is read back from disk in
+    // canonical cell order, so fresh, resumed and re-merged sweeps write
+    // byte-identical files at any job count.
+    let mut csv = String::from(CSV_HEADER);
+    let mut summary = format!("sweep {}: {} cells\n", spec.name, cells.len());
+    let mut events = 0u64;
+    for cell in &cells {
+        let dir = cells_dir.join(cell.dir_name());
+        let manifest = read_manifest(&dir, cell)
+            .ok_or_else(|| format!("{}: manifest vanished during merge", dir.display()))?;
+        let rows = std::fs::read_to_string(dir.join("cell.csv"))
+            .map_err(|e| format!("{}: cannot read cell.csv: {e}", dir.display()))?;
+        csv.push_str(&rows);
+        summary.push_str(&manifest.summary);
+        summary.push('\n');
+        events += manifest.events;
+    }
+    summary.push_str(&format!("total simulated events: {events}\n"));
+    std::fs::write(&csv_path, &csv).map_err(|e| format!("{}: {e}", csv_path.display()))?;
+    std::fs::write(&summary_path, &summary)
+        .map_err(|e| format!("{}: {e}", summary_path.display()))?;
+
+    Ok(SweepOutcome {
+        total_cells: cells.len(),
+        duplicates,
+        skipped,
+        ran,
+        interrupted,
+        events,
+        log,
+        cell_walls,
+        csv_path,
+        summary_path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+        # controller comparison at two seeds
+        name = "mini"
+        intervals = 3
+        warmup = 1
+        clients = 6
+        seeds = [1, 2]
+        workloads = ["zipf"]
+        controllers = ["selective", "coarse"]
+    "#;
+
+    #[test]
+    fn parser_reads_the_subset_and_applies_defaults() {
+        let m = parse_matrix(MINI).unwrap();
+        assert_eq!(m.name, "mini");
+        assert_eq!(m.intervals, 3);
+        assert_eq!(m.warmup, 1);
+        assert_eq!(m.clients, 6);
+        assert_eq!(m.seeds, vec![1, 2]);
+        assert_eq!(m.replicas, vec![1], "default axis");
+        assert_eq!(m.mrc, vec![CellMrc::Exact], "default axis");
+        assert_eq!(m.workloads, vec!["zipf"]);
+        assert_eq!(m.controllers, vec!["selective", "coarse"]);
+        let (cells, dup) = expand(&m);
+        assert_eq!(cells.len(), 4);
+        assert_eq!(dup, 0);
+    }
+
+    #[test]
+    fn parser_rejects_unknown_keys_sections_and_bad_values() {
+        assert!(parse_matrix("bogus = 1")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(parse_matrix("[matrix]").unwrap_err().contains("sections"));
+        assert!(parse_matrix("controllers = [\"tivoli\"]")
+            .unwrap_err()
+            .contains("unknown controller"));
+        assert!(parse_matrix("workloads = [\"tpcc\"]")
+            .unwrap_err()
+            .contains("unknown workload"));
+        assert!(parse_matrix("mrc = [\"sampled:2.0\"]")
+            .unwrap_err()
+            .contains("outside"));
+        assert!(parse_matrix("intervals = 2\nwarmup = 2")
+            .unwrap_err()
+            .contains("warmup"));
+        assert!(parse_matrix("seeds = []").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn canonicalization_is_stable_and_discriminating() {
+        let m = parse_matrix(MINI).unwrap();
+        let (cells, _) = expand(&m);
+        let canon: Vec<String> = cells.iter().map(|c| c.canonical()).collect();
+        for (i, a) in canon.iter().enumerate() {
+            for b in canon.iter().skip(i + 1) {
+                assert_ne!(a, b, "distinct configs must canonicalise apart");
+            }
+        }
+        // Re-parsing the same text yields identical hashes (cache keys
+        // survive process restarts).
+        let (again, _) = expand(&parse_matrix(MINI).unwrap());
+        for (a, b) in cells.iter().zip(&again) {
+            assert_eq!(a.content_hash(), b.content_hash());
+            assert_eq!(a.dir_name().len(), 16);
+        }
+        // Sampled rates canonicalise at fixed precision.
+        assert_eq!(
+            CellMrc::parse("sampled:0.1").unwrap().canonical(),
+            "sampled:0.1000"
+        );
+    }
+
+    #[test]
+    fn trace_key_ignores_controller_and_mrc_only() {
+        let base = CellConfig {
+            seed: 1,
+            replicas: 2,
+            workload: "tpcw".to_string(),
+            mrc: CellMrc::Exact,
+            controller: "selective".to_string(),
+            intervals: 4,
+            warmup: 1,
+            clients: 10,
+        };
+        let mut variant = base.clone();
+        variant.controller = "coarse".to_string();
+        variant.mrc = CellMrc::Sampled(0.1);
+        assert_eq!(base.trace_key(), variant.trace_key());
+        assert_ne!(base.content_hash(), variant.content_hash());
+        let mut other = base.clone();
+        other.replicas = 3;
+        assert_ne!(base.trace_key(), other.trace_key());
+    }
+
+    #[test]
+    fn duplicate_axis_values_collapse() {
+        let m = parse_matrix("seeds = [5, 5]\nintervals = 2\nwarmup = 0").unwrap();
+        let (cells, dup) = expand(&m);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(dup, 1);
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_mismatches() {
+        let m =
+            parse_matrix("intervals = 2\nwarmup = 0\nclients = 2\nworkloads = [\"zipf\"]").unwrap();
+        let (cells, _) = expand(&m);
+        let cell = &cells[0];
+        let res = CellResult {
+            rows: "r1\nr2\n".to_string(),
+            row_count: 2,
+            digest: 0xdead_beef,
+            events: 123,
+            summary: "summary line".to_string(),
+            wall: Duration::ZERO,
+        };
+        let dir = std::env::temp_dir().join(format!("odlb-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("cell.csv"), &res.rows).unwrap();
+        std::fs::write(dir.join("CELL_OK"), manifest_text(cell, &res)).unwrap();
+        let m = read_manifest(&dir, cell).expect("valid manifest");
+        assert_eq!(m.digest, 0xdead_beef);
+        assert_eq!(m.events, 123);
+        assert_eq!(m.summary, "summary line");
+        // A different config must not claim this cell.
+        let mut other = cell.clone();
+        other.seed += 1;
+        assert!(read_manifest(&dir, &other).is_none());
+        // A truncated row file invalidates the manifest.
+        std::fs::write(dir.join("cell.csv"), "r1\n").unwrap();
+        assert!(read_manifest(&dir, cell).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

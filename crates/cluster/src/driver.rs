@@ -24,8 +24,9 @@ use odlb_telemetry::{
     enter_span, profile_span, span_units, LogLinearHistogram, SharedSpanProfiler, Telemetry,
 };
 use odlb_trace::{TraceEvent, Tracer};
-use odlb_workload::{ClientConfig, ClientPool, LoadFunction, WorkloadSpec};
+use odlb_workload::{ClientConfig, ClientPool, GeneratedSchedule, LoadFunction, WorkloadSpec};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Driver-level timing parameters.
 #[derive(Clone, Copy, Debug)]
@@ -74,6 +75,21 @@ enum Event {
         instance: usize,
     },
     LoadTick,
+    /// Dispatch the next query of a replayed app's pregenerated
+    /// schedule. One such event is in flight per replayed app; each
+    /// dispatch chains the next.
+    ReplayIssue {
+        app: usize,
+    },
+}
+
+/// Cursor over a shared pregenerated schedule (see
+/// [`Simulation::add_replayed_app`]). The schedule itself is behind an
+/// `Arc` so many isolated simulations can replay one generation.
+struct ReplayState {
+    schedule: Arc<GeneratedSchedule>,
+    /// Index of the next query to dispatch.
+    next: usize,
 }
 
 struct ServerState {
@@ -106,6 +122,9 @@ struct AppState {
     next_client: u64,
     /// Queries issued this interval (drives the `had_load` SLA input).
     offered_this_interval: u64,
+    /// `Some` for apps replaying a pregenerated schedule instead of
+    /// running the closed-loop client pool.
+    replay: Option<ReplayState>,
 }
 
 /// Per-server utilisation over the closed interval.
@@ -317,7 +336,36 @@ impl Simulation {
             target_clients: 0,
             next_client: 0,
             offered_this_interval: 0,
+            replay: None,
         });
+        app_id
+    }
+
+    /// Registers an application that replays a pregenerated open-loop
+    /// schedule ([`odlb_workload::generate_schedule`]) instead of running
+    /// closed-loop clients. Arrival times, classes and page accesses come
+    /// verbatim from the schedule; CPU demands and the write flag are
+    /// resolved against the *current* class spec at dispatch, so
+    /// mid-run plan changes ([`Simulation::set_class_cpu`]) still apply.
+    /// The schedule is shared by `Arc`: parameter-sweep cells replay one
+    /// generation without copying it per cell.
+    pub fn add_replayed_app(
+        &mut self,
+        spec: WorkloadSpec,
+        sla: Sla,
+        schedule: Arc<GeneratedSchedule>,
+    ) -> AppId {
+        // The closed-loop pool stays allocated but idle (constant zero
+        // load): LoadTick finds no clients to admit, so the replayed app
+        // draws nothing from the pool's streams.
+        let app_id = self.add_app(
+            spec,
+            sla,
+            ClientConfig::default(),
+            LoadFunction::Constant(0),
+        );
+        let idx = self.app_index(app_id);
+        self.apps[idx].replay = Some(ReplayState { schedule, next: 0 });
         app_id
     }
 
@@ -586,6 +634,20 @@ impl Simulation {
         assert!(!self.started, "simulation already started");
         self.started = true;
         self.queue.schedule(SimTime::ZERO, Event::LoadTick);
+        // Prime one in-flight ReplayIssue per replayed app; each
+        // dispatch chains the next.
+        let firsts: Vec<(usize, SimTime)> = self
+            .apps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| {
+                let r = a.replay.as_ref()?;
+                Some((i, r.schedule.queries.first()?.at))
+            })
+            .collect();
+        for (app, at) in firsts {
+            self.queue.schedule(at, Event::ReplayIssue { app });
+        }
     }
 
     /// Runs one measurement interval and closes it.
@@ -888,6 +950,7 @@ impl Simulation {
                     .scheduler
                     .add_replica(InstanceId(instance as u32));
             }
+            Event::ReplayIssue { app } => self.replay_issue(now, app),
         }
     }
 
@@ -904,6 +967,72 @@ impl Simulation {
             let a = &mut self.apps[app];
             a.spec.sample_query_into(&mut a.rng, pages)
         };
+        if !self.dispatch_spec(now, app, Some(client), spec) {
+            // No ready replica (all still provisioning): retry shortly.
+            self.queue.schedule(
+                now + SimDuration::from_millis(100),
+                Event::ClientIssue { app, client },
+            );
+        }
+    }
+
+    /// Dispatches the next query of a replayed app's schedule and chains
+    /// the following one. When every replica is still provisioning the
+    /// cursor does not advance; the same query retries shortly, so the
+    /// schedule is delayed, never truncated.
+    fn replay_issue(&mut self, now: SimTime, app: usize) {
+        let (sched, idx) = {
+            let r = self.apps[app].replay.as_ref().expect("replayed app");
+            (Arc::clone(&r.schedule), r.next)
+        };
+        let Some(q) = sched.queries.get(idx) else {
+            return;
+        };
+        let spec = {
+            let mut pages = std::mem::take(&mut self.spec_pages);
+            pages.clear();
+            pages.extend_from_slice(sched.pages_of(idx));
+            let a = &self.apps[app];
+            let class = q.class as usize;
+            let c = &a.spec.classes[class];
+            QuerySpec {
+                class: a.spec.class_id(class),
+                pages,
+                cpu_base: c.cpu_base,
+                cpu_per_page: c.cpu_per_page,
+                is_write: c.is_write,
+                lock_prefix: if c.is_write {
+                    q.lock_prefix as usize
+                } else {
+                    0
+                },
+            }
+        };
+        if !self.dispatch_spec(now, app, None, spec) {
+            self.queue.schedule(
+                now + SimDuration::from_millis(100),
+                Event::ReplayIssue { app },
+            );
+            return;
+        }
+        self.apps[app].replay.as_mut().expect("replayed app").next = idx + 1;
+        if let Some(next) = sched.queries.get(idx + 1) {
+            self.queue
+                .schedule(next.at.max(now), Event::ReplayIssue { app });
+        }
+    }
+
+    /// Routes and executes one materialised query (shared by the
+    /// closed-loop and replay paths). Returns `false` — after recycling
+    /// the page buffer — when no ready replica exists; the caller decides
+    /// how to retry.
+    fn dispatch_spec(
+        &mut self,
+        now: SimTime,
+        app: usize,
+        client: Option<u64>,
+        spec: QuerySpec,
+    ) -> bool {
         // Routing scratch: refill the recycled per-instance load vector
         // instead of collecting a fresh one per query.
         let route = {
@@ -926,16 +1055,11 @@ impl Simulation {
             route
         };
         let Some((primary, applies)) = route else {
-            // No ready replica (all still provisioning): retry shortly.
             self.recycle_pages(spec.pages);
-            self.queue.schedule(
-                now + SimDuration::from_millis(100),
-                Event::ClientIssue { app, client },
-            );
-            return;
+            return false;
         };
         self.apps[app].offered_this_interval += 1;
-        self.execute_on(now, app, Some(client), primary, &spec);
+        self.execute_on(now, app, client, primary, &spec);
         let spec = if applies.is_empty() {
             spec
         } else {
@@ -946,6 +1070,7 @@ impl Simulation {
             apply_spec
         };
         self.recycle_pages(spec.pages);
+        true
     }
 
     /// Returns a finished query's page buffer to the recycle slot
@@ -1358,6 +1483,69 @@ mod tests {
         assert!(stats.max_depth >= 3, "driver spans nest: {folded}");
         assert!(folded.contains("interval;engine_execute;pages;storage_read "));
         assert!(folded.contains("interval;close_interval "));
+    }
+
+    #[test]
+    fn replayed_app_serves_the_whole_schedule_deterministically() {
+        use odlb_workload::{generate_schedule, ScheduleConfig};
+        let spec = tpcw_workload(TpcwConfig::default());
+        let schedule = Arc::new(generate_schedule(
+            &spec,
+            &ScheduleConfig {
+                seed: 17,
+                horizon: SimDuration::from_secs(30),
+                load: LoadFunction::Constant(6),
+                client: ClientConfig::default(),
+                tick: SimDuration::from_secs(2),
+            },
+        ));
+        assert!(!schedule.is_empty());
+        let run = |servers: usize| {
+            let mut sim = Simulation::new(SimulationConfig {
+                seed: 17,
+                ..Default::default()
+            });
+            let mut insts = Vec::new();
+            for _ in 0..servers {
+                let s = sim.add_server(4);
+                insts.push(sim.add_instance(s, DomainId(1), EngineConfig::default()));
+            }
+            let app = sim.add_replayed_app(
+                tpcw_workload(TpcwConfig::default()),
+                Sla::one_second(),
+                Arc::clone(&schedule),
+            );
+            for inst in insts {
+                sim.assign_replica(app, inst);
+            }
+            sim.start();
+            let mut offered = 0.0;
+            let mut last = None;
+            for _ in 0..3 {
+                let o = sim.run_interval();
+                offered += o.app_throughput[&app] * 10.0;
+                last = Some(o);
+            }
+            (offered.round() as u64, last.unwrap().app_latency[&app])
+        };
+        let (a_count, a_lat) = run(1);
+        let (b_count, b_lat) = run(1);
+        assert_eq!(
+            (a_count, a_lat),
+            (b_count, b_lat),
+            "replay is deterministic"
+        );
+        // Every scheduled arrival within the simulated horizon is served
+        // (completions may trail arrivals slightly, hence the tolerance).
+        let arrivals = schedule.len() as u64;
+        assert!(
+            a_count > arrivals * 9 / 10,
+            "served {a_count} of {arrivals} scheduled queries"
+        );
+        // The identical offered load runs against a different cluster
+        // size without regenerating anything.
+        let (two_replicas, _) = run(2);
+        assert!(two_replicas > arrivals * 9 / 10);
     }
 
     #[test]

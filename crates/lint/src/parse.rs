@@ -310,6 +310,10 @@ impl Parser<'_> {
         }
     }
 
+    /// Skips to the item-terminating `;`. Braces, brackets and parens
+    /// are balanced over: array types (`[T; N]`) and array-repeat
+    /// expressions carry interior semicolons, and struct-literal
+    /// initializers carry interior braces — neither ends the item.
     fn skip_to_semi(&mut self) {
         while let Some(t) = self.tok(self.i) {
             if t.is_punct(';') {
@@ -318,6 +322,14 @@ impl Parser<'_> {
             }
             if t.is_punct('{') {
                 self.skip_balanced('{', '}');
+                continue;
+            }
+            if t.is_punct('[') {
+                self.skip_balanced('[', ']');
+                continue;
+            }
+            if t.is_punct('(') {
+                self.skip_balanced('(', ')');
                 continue;
             }
             self.i += 1;
@@ -753,6 +765,25 @@ where
 }";
         let p = parse(src);
         assert_eq!(fn_names(&p), vec!["generic"]);
+        assert_eq!(p.fns[0].calls.len(), 1);
+    }
+
+    #[test]
+    fn struct_literal_consts_do_not_swallow_following_items() {
+        // `[T; N]` carries a `;` inside brackets and a struct-literal
+        // initializer carries `}` tokens; a naive skip-to-semicolon
+        // stopped inside the type and the first `}` then ended the whole
+        // file's item walk, silently dropping every later `fn`.
+        let src = "\
+pub struct Info { name: &'static str, traced: bool }
+pub const REGISTRY: [Info; 2] = [
+    Info { name: \"a\", traced: true },
+    Info { name: \"b\", traced: false },
+];
+static PAIRS: [(u32, [u8; 4]); 1] = [(1, [0; 4])];
+fn after() { survives(); }";
+        let p = parse(src);
+        assert_eq!(fn_names(&p), vec!["after"]);
         assert_eq!(p.fns[0].calls.len(), 1);
     }
 

@@ -29,6 +29,7 @@
 //! });
 //! ```
 
+pub mod matrix;
 pub mod trace;
 
 use odlb_sim::SimRng;

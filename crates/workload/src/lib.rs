@@ -28,11 +28,14 @@
 //! * [`load`] — offered-load functions (constant, step, the paper's
 //!   sinusoid with noise).
 //! * [`client`] — the closed-loop client session emulator.
+//! * [`schedule`] — pregenerated open-loop arrival schedules for
+//!   parameter-sweep cells that must share one workload trace.
 
 pub mod client;
 pub mod load;
 pub mod pattern;
 pub mod rubis;
+pub mod schedule;
 pub mod spec;
 pub mod synthetic;
 pub mod tpcw;
@@ -40,4 +43,5 @@ pub mod tpcw;
 pub use client::{ClientConfig, ClientPool};
 pub use load::LoadFunction;
 pub use pattern::AccessPattern;
+pub use schedule::{generate_schedule, GeneratedSchedule, ScheduleConfig, ScheduledQuery};
 pub use spec::{QueryClassSpec, WorkloadSpec};
